@@ -1,0 +1,61 @@
+"""Figure 8 — coverage maps and density statistics of the area types.
+
+Paper: "we observe on average 26 sectors that interfere with the
+sectors in our rural area, 55 ... suburban ... and 178 ... urban".
+
+Expected shape: interferer counts ordered rural < suburban < urban
+with roughly the paper's magnitudes (ours: ~20-30 / ~50-70 / ~150-200),
+and per-sector footprints shrinking by an order of magnitude from
+rural to urban.
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_map import render_serving_map
+from repro.analysis.export import write_csv
+from repro.analysis.image import write_serving_ppm
+from repro.model.coverage import coverage_map
+
+from conftest import report
+
+
+def test_fig08_area_types(suburban_area, rural_area, benchmark):
+    from repro.synthetic.market import build_area
+    from repro.synthetic.placement import AreaType
+
+    def build_urban():
+        return build_area(AreaType.URBAN, seed=5)
+
+    urban_area = benchmark.pedantic(build_urban, rounds=1, iterations=1)
+
+    areas = {"rural": rural_area, "suburban": suburban_area,
+             "urban": urban_area}
+    stats = {}
+    rows = []
+    report("")
+    for name, area in areas.items():
+        cm = coverage_map(area.baseline)
+        interferers = area.interferer_stats()
+        footprints = list(cm.footprint_sizes().values())
+        stats[name] = (interferers, float(np.mean(footprints)))
+        rows.append([name, area.network.n_sectors,
+                     f"{interferers:.1f}",
+                     f"{np.mean(footprints):.1f}",
+                     f"{cm.covered_fraction:.4f}"])
+        report(f"Fig 8 {name}: {area.network.n_sectors} sectors, "
+               f"~{interferers:.0f} interferers within 10 km, "
+               f"mean footprint {np.mean(footprints):.0f} grids, "
+               f"{cm.covered_fraction:.1%} covered")
+        report(render_serving_map(area.baseline.serving, max_width=56))
+        write_serving_ppm(f"fig08_{name}_serving", area.baseline.serving)
+    write_csv("fig08_area_types",
+              ["area_type", "sectors", "mean_interferers_10km",
+               "mean_footprint_grids", "covered_fraction"], rows)
+
+    # Paper's density ordering and rough magnitudes.
+    assert stats["rural"][0] < stats["suburban"][0] < stats["urban"][0]
+    assert 10 <= stats["rural"][0] <= 40          # paper: ~26
+    assert 35 <= stats["suburban"][0] <= 90       # paper: ~55
+    assert 110 <= stats["urban"][0] <= 260        # paper: ~178
+    # Footprints shrink with density.
+    assert stats["rural"][1] > stats["suburban"][1] > stats["urban"][1]

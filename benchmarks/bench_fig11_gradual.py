@@ -1,0 +1,66 @@
+"""Figure 11 — benefits of gradual tuning.
+
+Paper (one suburban example): gradual tuning cuts peak simultaneous
+handovers 3x (2457 vs 9827) and lets 99.7% of UEs hand over while
+their source sector is still on-air; the utility never dips below
+f(C_after).  Across all scenarios the reduction factor is 8x and
+96.1% of UEs are seamless.
+
+Expected shape: reduction factor > 1.5, seamless fraction well above
+the direct strategy's, and the utility-floor invariant exact.
+"""
+
+from repro.analysis.export import write_csv
+from repro.core.gradual import GradualSettings
+from repro.core.magus import Magus
+from repro.upgrades.scenario import UpgradeScenario, select_targets
+
+from conftest import report
+
+
+def test_fig11_gradual_tuning(suburban_area, benchmark):
+    area = suburban_area
+    magus = Magus.from_area(area)
+    targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
+    plan = magus.plan_mitigation(targets, tuning="joint")
+
+    def run_schedule():
+        gradual = magus.gradual_schedule(
+            plan, GradualSettings(target_step_db=3.0))
+        direct = magus.direct_migration_stats(plan)
+        return gradual, direct
+
+    gradual, direct = benchmark.pedantic(run_schedule, rounds=1,
+                                         iterations=1)
+    stats = gradual.stats()
+    reduction = gradual.reduction_vs(direct)
+
+    report("")
+    report(f"Fig 11: gradual migration for sectors {list(targets)} "
+           f"({gradual.n_steps} steps)")
+    report(f"  {'step':>4s} {'utility':>12s} {'handover UEs':>13s} "
+           f"{'seamless':>9s}")
+    rows = []
+    for i, batch in enumerate(gradual.batches):
+        report(f"  {i + 1:4d} {gradual.utilities[i + 1]:12.1f} "
+               f"{batch.total_ues:13.1f} {batch.seamless_ues:9.1f}")
+        rows.append([i + 1, f"{gradual.utilities[i + 1]:.2f}",
+                     f"{batch.total_ues:.2f}",
+                     f"{batch.seamless_ues:.2f}",
+                     f"{batch.hard_ues:.2f}"])
+    write_csv("fig11_gradual",
+              ["step", "utility", "handover_ues", "seamless_ues",
+               "hard_ues"], rows)
+    report(f"  floor f(C_after) = {gradual.floor_utility:.1f}; "
+           f"min over schedule = {gradual.min_utility:.1f}")
+    report(f"  peak handovers: gradual {stats.peak_simultaneous_ues:.0f} "
+           f"vs direct {direct.peak_simultaneous_ues:.0f} "
+           f"(x{reduction:.1f} reduction); "
+           f"{stats.seamless_fraction:.1%} seamless "
+           f"(direct: {direct.seamless_fraction:.1%})")
+
+    # Paper's three claims, shape-level.
+    assert gradual.min_utility >= gradual.floor_utility - 1e-6
+    assert reduction > 1.5
+    assert stats.seamless_fraction > 0.85
+    assert stats.seamless_fraction > direct.seamless_fraction

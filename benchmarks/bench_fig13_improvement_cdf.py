@@ -1,0 +1,61 @@
+"""Figure 13 — CDF of Magus's improvement ratio over the naive search.
+
+Paper: over 27 scenarios, Magus (Algorithm 1) is no worse than the
+naive per-neighbor sweep in 81% of scenarios, never falls below an
+improvement ratio of 0.9, exceeds 1.3 in over 22% of scenarios, peaks
+at 3.87 and averages 1.21 (21% better overall).
+
+Expected shape: most scenarios at ratio >= 1, a small tail below 1
+that stays above ~0.8, and a meaningful fraction above 1.3.
+"""
+
+import numpy as np
+
+from repro.analysis.export import write_csv
+from repro.analysis.metrics import (empirical_cdf, improvement_ratio,
+                                    summarize_improvements)
+
+from conftest import report
+
+
+def test_fig13_improvement_cdf(sweep_rows, benchmark):
+    magus = {(r.market, r.area_type, r.scenario): r.recovery
+             for r in sweep_rows if r.tuning == "power"}
+    naive = {(r.market, r.area_type, r.scenario): r.recovery
+             for r in sweep_rows if r.tuning == "naive"}
+    assert set(magus) == set(naive)
+    assert len(magus) == 27
+
+    def compute():
+        return {k: improvement_ratio(magus[k], naive[k]) for k in magus}
+
+    ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    finite_vals = [v for v in ratios.values() if np.isfinite(v)]
+    xs, ps = empirical_cdf(finite_vals)
+    stats = summarize_improvements(list(ratios.values()))
+
+    report("")
+    report(f"Fig 13: improvement ratio over {len(ratios)} scenarios")
+    report(f"  no worse than naive: {stats['fraction_no_worse']:.0%} "
+           f"(paper: 81%)")
+    report(f"  >30% better: {stats['fraction_30pct_better']:.0%} "
+           f"(paper: >22%)")
+    report(f"  mean {stats['mean_ratio']:.2f} (paper 1.21), "
+           f"max {stats['max_ratio']:.2f} (paper 3.87), "
+           f"min {stats['min_ratio']:.2f} (paper >=0.9)")
+    report("  CDF:")
+    for x, p in zip(xs, ps):
+        report(f"    {x:6.3f}: {p:.2f}")
+    write_csv("fig13_improvement_cdf", ["ratio", "cdf"],
+              [[f"{x:.4f}", f"{p:.4f}"] for x, p in zip(xs, ps)])
+    write_csv("fig13_per_scenario",
+              ["market", "area_type", "scenario", "magus_recovery",
+               "naive_recovery", "improvement_ratio"],
+              [[k[0], k[1], k[2], f"{magus[k]:.4f}", f"{naive[k]:.4f}",
+                f"{ratios[k]:.4f}" if np.isfinite(ratios[k]) else "inf"]
+               for k in sorted(ratios)])
+
+    # Shape assertions, with slack for the synthetic substrate.
+    assert stats["fraction_no_worse"] >= 0.6
+    assert stats["min_ratio"] >= 0.6
+    assert stats["mean_ratio"] >= 0.95

@@ -1,0 +1,65 @@
+"""Table 1 — recovery ratio per area type x upgrade scenario x tuning.
+
+Paper (averaged over 3 markets):
+
+    Types of Tuning  Rural (a/b/c)      Suburban (a/b/c)   Urban (a/b/c)
+    Power-Tuning     18.3 / 17.5 / 11.0  56.5 / 32.2 / 24.5  17.1 / 22.7 / 14.1 (%)
+    Tilt-Tuning       8.4 / 23.0 /  9.3  37.7 / 27.9 / 22.8   8.8 / 29.7 /  3.8
+    Joint            37.0 / 28.9 / 17.0  76.4 / 37.4 / 38.8  20.1 / 32.0 / 19.2
+
+Expected shape (not absolute numbers): every recovery in (0, 1); the
+joint pass beats the individual knobs; suburban power-tuning is the
+strongest power column; rural/urban recoveries are capped by power
+limits / interference respectively.
+"""
+
+from repro.analysis.export import write_csv
+from repro.analysis.metrics import grouped_mean
+from repro.analysis.report import format_table1
+
+from conftest import report
+
+
+def test_table1_recovery(sweep_rows, benchmark):
+    rows = [r for r in sweep_rows if r.tuning in ("power", "tilt", "joint")]
+
+    def aggregate():
+        return grouped_mean(
+            [(r.tuning, r.area_type, r.scenario, r.recovery)
+             for r in rows],
+            key_indices=[0, 1, 2], value_index=3)
+
+    cells = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+
+    report("")
+    report(format_table1(cells))
+    write_csv("table1",
+              ["market", "area_type", "scenario", "tuning", "recovery",
+               "f_before", "f_upgrade", "f_after", "steps", "evaluations"],
+              [[r.market, r.area_type, r.scenario, r.tuning,
+                f"{r.recovery:.4f}", f"{r.f_before:.2f}",
+                f"{r.f_upgrade:.2f}", f"{r.f_after:.2f}",
+                r.steps, r.evaluations] for r in sweep_rows])
+
+    # Shape assertions (see module docstring).
+    for (tuning, area, scenario), value in cells.items():
+        assert -0.2 <= value <= 1.05, (tuning, area, scenario, value)
+    joint_wins = 0
+    comparisons = 0
+    for area in ("rural", "suburban", "urban"):
+        for scenario in ("a", "b", "c"):
+            joint = cells[("joint", area, scenario)]
+            power = cells[("power", area, scenario)]
+            tilt = cells[("tilt", area, scenario)]
+            comparisons += 1
+            if joint >= max(power, tilt) - 1e-9:
+                joint_wins += 1
+    # Joint dominates in the paper on every cell; allow a small slack
+    # for synthetic-terrain noise.
+    assert joint_wins >= comparisons - 2
+
+    # Suburban scenario (a) should be the best power-tuning cell,
+    # the paper's headline observation.
+    power_cells = {k: v for k, v in cells.items() if k[0] == "power"}
+    best = max(power_cells, key=power_cells.get)
+    assert best[1] == "suburban"

@@ -1,0 +1,95 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Heavy artifacts (study areas, the 27-scenario sweep) are built once per
+session and shared across bench files.  ``report()`` writes through the
+capture layer so the regenerated tables/series show up in
+``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.magus import Magus
+from repro.synthetic.market import MARKET_NAMES, StudyArea, build_area
+from repro.synthetic.placement import AreaType
+from repro.upgrades.scenario import UpgradeScenario, select_targets
+
+#: Tunings swept for Table 1 / Figure 13 (naive is the Fig-13 baseline).
+SWEEP_TUNINGS = ("power", "tilt", "joint", "naive")
+
+
+def report(text: str) -> None:
+    """Print straight to the real stdout (pytest capture bypassed)."""
+    sys.__stdout__.write(text + "\n")
+    sys.__stdout__.flush()
+
+
+def area_seed(market_index: int, area_type: AreaType) -> int:
+    """The seed lineage used by ``build_market`` (kept in sync)."""
+    offset = list(AreaType).index(area_type)
+    return 1000 * (market_index + 1) + offset
+
+
+@dataclass
+class SweepRow:
+    """One (market, area, scenario, tuning) outcome."""
+
+    market: str
+    area_type: str
+    scenario: str
+    tuning: str
+    recovery: float
+    f_before: float
+    f_upgrade: float
+    f_after: float
+    steps: int
+    evaluations: int
+
+
+@pytest.fixture(scope="session")
+def suburban_area() -> StudyArea:
+    """One suburban area shared by Table 2 / Fig 11 / Fig 12 benches."""
+    return build_area(AreaType.SUBURBAN, seed=7)
+
+
+@pytest.fixture(scope="session")
+def rural_area() -> StudyArea:
+    return build_area(AreaType.RURAL, seed=3)
+
+
+@pytest.fixture(scope="session")
+def sweep_rows() -> List[SweepRow]:
+    """The paper's full evaluation sweep: 3 markets x 3 area types x
+    3 upgrade scenarios, under every tuning strategy.
+
+    Areas are built one at a time and released afterwards to bound
+    memory; rows carry everything Table 1 and Figure 13 need.
+    """
+    rows: List[SweepRow] = []
+    for market_index in range(len(MARKET_NAMES)):
+        for area_type in AreaType:
+            area = build_area(area_type,
+                              seed=area_seed(market_index, area_type))
+            magus = Magus.from_area(area)
+            for scenario in UpgradeScenario:
+                targets = select_targets(area, scenario)
+                for tuning in SWEEP_TUNINGS:
+                    plan = magus.plan_mitigation(targets, tuning=tuning)
+                    rows.append(SweepRow(
+                        market=MARKET_NAMES[market_index],
+                        area_type=area_type.value,
+                        scenario=scenario.value,
+                        tuning=tuning,
+                        recovery=plan.recovery,
+                        f_before=plan.f_before,
+                        f_upgrade=plan.f_upgrade,
+                        f_after=plan.f_after,
+                        steps=plan.tuning.n_steps,
+                        evaluations=plan.tuning.total_evaluations))
+            del magus, area
+    return rows

@@ -1,0 +1,55 @@
+"""Gradual migration for a 24/7 venue (the paper's airport motivation).
+
+Some locations — "such as busy airports, there is no specific preferred
+time for scheduling the upgrade because of the 24/7 usage" — so the
+upgrade *will* hit loaded cells.  This example upgrades a full site
+(scenario (b)) in an urban area with a population hotspot, and compares
+the one-shot reconfiguration against Magus's gradual schedule:
+
+* the gradual schedule's utility never dips below f(C_after);
+* simultaneous handovers drop by a large factor;
+* almost every UE hands over while its source cell is still on-air.
+
+Run:  python examples/airport_gradual_migration.py
+"""
+
+from repro import (AreaType, GradualSettings, Magus, UpgradeScenario,
+                   build_area, select_targets)
+
+
+def main() -> None:
+    area = build_area(AreaType.URBAN, seed=11)
+    targets = select_targets(area, UpgradeScenario.FULL_SITE)
+    print(f"{area.name}: upgrading the whole central site "
+          f"(sectors {list(targets)})")
+
+    magus = Magus.from_area(area)
+    plan = magus.plan_mitigation(targets, tuning="joint")
+    print(f"recovery ratio: {plan.recovery:.1%} "
+          f"(floor utility f(C_after) = {plan.f_after:.1f})")
+
+    gradual = magus.gradual_schedule(
+        plan, GradualSettings(target_step_db=3.0))
+    direct = magus.direct_migration_stats(plan)
+    stats = gradual.stats()
+
+    print("\nstep-by-step migration (utility / handovers):")
+    for i, batch in enumerate(gradual.batches):
+        marker = " *compensated*" if (i + 1) in gradual.compensation_steps \
+            else ""
+        print(f"  step {i + 1:2d}: utility {gradual.utilities[i + 1]:9.1f}  "
+              f"handovers {batch.total_ues:7.1f} "
+              f"({batch.seamless_ues:7.1f} seamless){marker}")
+
+    print(f"\nutility floor f(C_after) = {gradual.floor_utility:.1f}; "
+          f"worst step = {gradual.min_utility:.1f} "
+          f"(never below the floor: {gradual.min_utility >= gradual.floor_utility - 1e-6})")
+    print(f"peak simultaneous handovers: gradual "
+          f"{stats.peak_simultaneous_ues:.0f} vs direct "
+          f"{direct.peak_simultaneous_ues:.0f} "
+          f"-> x{gradual.reduction_vs(direct):.1f} reduction")
+    print(f"seamless handovers: {stats.seamless_fraction:.1%}")
+
+
+if __name__ == "__main__":
+    main()

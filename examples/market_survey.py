@@ -1,0 +1,36 @@
+"""Survey recovery potential across rural / suburban / urban areas.
+
+Reproduces the spirit of the paper's Section 6 finding that recovery
+varies with base-station density — rural areas are power-limited,
+urban areas interference-limited, suburban areas sit in the sweet
+spot.  For each area type this script prints the density statistics,
+an ASCII coverage map, and the recovery achieved by each tuning knob.
+
+Run:  python examples/market_survey.py
+"""
+
+from repro import AreaType, Magus, UpgradeScenario, build_area, select_targets
+from repro.analysis import render_serving_map
+
+
+def main() -> None:
+    for area_type in AreaType:
+        area = build_area(area_type, seed=5)
+        print("=" * 64)
+        print(f"{area.name}: {area.network.n_sectors} sectors, "
+              f"~{area.interferer_stats():.0f} interferers within 10 km")
+        print(render_serving_map(area.baseline.serving, max_width=56))
+
+        targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
+        magus = Magus.from_area(area)
+        for tuning in ("power", "tilt", "joint"):
+            plan = magus.plan_mitigation(targets, tuning=tuning)
+            print(f"  {tuning:6s}: recovery {plan.recovery:6.1%}  "
+                  f"({plan.tuning.n_steps} steps)")
+    print("=" * 64)
+    print("Note how the joint pass dominates, and how the power-limited")
+    print("rural and interference-limited urban regimes cap recovery.")
+
+
+if __name__ == "__main__":
+    main()

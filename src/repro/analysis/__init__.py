@@ -1,0 +1,23 @@
+"""Metrics, report formatting, ASCII maps and CSV export."""
+
+from .ascii_map import render_field, render_mask, render_serving_map
+from .export import results_dir, write_csv
+from .image import write_field_pgm, write_mask_pgm, write_serving_ppm
+from .metrics import (ConvergenceTimelines, build_convergence_timelines,
+                      empirical_cdf, grouped_mean, improvement_ratio,
+                      summarize_improvements)
+from .report import format_series, format_table, format_table1, format_table2
+from .validation import (DriveTestSample, ValidationReport, drive_test,
+                         validate_against)
+
+__all__ = [
+    "render_field", "render_mask", "render_serving_map",
+    "results_dir", "write_csv",
+    "write_field_pgm", "write_mask_pgm", "write_serving_ppm",
+    "ConvergenceTimelines", "build_convergence_timelines",
+    "empirical_cdf", "grouped_mean", "improvement_ratio",
+    "summarize_improvements",
+    "format_series", "format_table", "format_table1", "format_table2",
+    "DriveTestSample", "ValidationReport", "drive_test",
+    "validate_against",
+]

@@ -1,0 +1,108 @@
+"""ASCII renderings of the paper's map figures (3, 4, 5, 7, 8, 10).
+
+The paper visualizes path-loss rasters and serving maps as colored
+pixel images.  In a terminal-first reproduction the same information is
+rendered as character rasters: a brightness ramp for continuous fields
+(path loss / received power) and a symbol alphabet for categorical
+serving maps, with ``#`` marking out-of-service grids ("black pixels").
+Rasters are downsampled to a target width so any area fits a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..model.snapshot import NO_SERVICE
+
+__all__ = ["render_field", "render_serving_map", "render_mask"]
+
+#: Dark-to-bright ramp for continuous fields.
+_RAMP = " .:-=+*%@"
+
+#: Symbols cycled over sector ids for serving maps.
+_SECTOR_ALPHABET = ("abcdefghijklmnopqrstuvwxyz"
+                    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+
+_HOLE_CHAR = "#"
+
+
+def render_field(field: np.ndarray, max_width: int = 72,
+                 lo: Optional[float] = None,
+                 hi: Optional[float] = None) -> str:
+    """Continuous raster -> brightness-ramp text (north at the top).
+
+    ``lo``/``hi`` pin the color scale (useful when comparing before /
+    after maps, e.g. Figure 7's power-vs-tilt panels); by default the
+    finite range of the data is used.  Non-finite cells render as the
+    darkest character.
+    """
+    data = np.asarray(field, dtype=float)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        raise ValueError("field has no finite values")
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    data = _downsample(data, max_width)
+    lines: List[str] = []
+    for row in data[::-1]:                     # row 0 is the southern edge
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append(_RAMP[0])
+                continue
+            t = min(max((v - lo) / span, 0.0), 1.0)
+            chars.append(_RAMP[int(t * (len(_RAMP) - 1))])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_serving_map(serving: np.ndarray, max_width: int = 72) -> str:
+    """Categorical serving raster -> symbol-per-sector text.
+
+    Grids served by the same sector share a symbol (the paper's
+    "painted in the same color"); coverage holes render as ``#``.
+    """
+    data = _downsample(np.asarray(serving, dtype=float), max_width,
+                       categorical=True).astype(int)
+    lines: List[str] = []
+    n = len(_SECTOR_ALPHABET)
+    for row in data[::-1]:
+        chars = []
+        for v in row:
+            if v == NO_SERVICE:
+                chars.append(_HOLE_CHAR)
+            else:
+                chars.append(_SECTOR_ALPHABET[v % n])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_mask(mask: np.ndarray, max_width: int = 72,
+                true_char: str = "R", false_char: str = ".") -> str:
+    """Boolean raster -> two-symbol text (Figure 5's highlight overlay)."""
+    data = _downsample(np.asarray(mask, dtype=float), max_width) >= 0.5
+    return "\n".join(
+        "".join(true_char if v else false_char for v in row)
+        for row in data[::-1])
+
+
+def _downsample(data: np.ndarray, max_width: int,
+                categorical: bool = False) -> np.ndarray:
+    """Stride-sample a raster to at most ``max_width`` columns.
+
+    When downsampling actually kicks in, rows are strided twice as hard
+    as columns (character cells are ~2x taller than wide); rasters that
+    already fit are passed through untouched so no rows are lost.
+    """
+    if max_width < 1:
+        raise ValueError("max_width must be positive")
+    rows, cols = data.shape
+    col_stride = max(1, int(np.ceil(cols / max_width)))
+    row_stride = 2 * col_stride if col_stride > 1 else 1
+    out = data[::row_stride, ::col_stride]
+    # 'categorical' exists for symmetry: stride sampling (vs averaging)
+    # is already category-safe.
+    return out

@@ -1,0 +1,49 @@
+"""CSV export of every table/figure series the benches regenerate.
+
+Each bench writes its rows under ``results/`` so EXPERIMENTS.md numbers
+can be traced to files and re-plotted with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["results_dir", "write_csv"]
+
+_ENV_VAR = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """The output directory (override with ``REPRO_RESULTS_DIR``)."""
+    root = os.environ.get(_ENV_VAR)
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_csv(name: str, headers: Sequence[str],
+              rows: Iterable[Sequence]) -> Path:
+    """Write one result table; returns the file path.
+
+    ``name`` is the experiment id (e.g. ``table1``); ``.csv`` is
+    appended.  Rows are materialized so callers may pass generators.
+    """
+    if not name or "/" in name:
+        raise ValueError(f"bad result name {name!r}")
+    path = results_dir() / f"{name}.csv"
+    materialized = [list(r) for r in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"{name}: row width {len(row)} != header {len(headers)}")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(materialized)
+    return path

@@ -1,0 +1,112 @@
+"""Netpbm image export for the paper's map figures.
+
+The paper renders path-loss and serving maps as color pixel images
+(Figures 3-5, 7, 8, 10).  This writer produces the same artifacts with
+zero dependencies: binary PGM (grayscale) for continuous fields and
+binary PPM (color) for categorical serving maps, viewable by
+essentially every image tool.
+
+North is up: raster row 0 (the southern edge) is written last.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..model.snapshot import NO_SERVICE
+from .export import results_dir
+
+__all__ = ["write_field_pgm", "write_serving_ppm", "write_mask_pgm"]
+
+#: Distinct, repeatable sector colors (RGB), generated once from a
+#: golden-ratio hue walk so adjacent ids get far-apart hues.
+_GOLDEN = 0.61803398875
+
+
+def _sector_color(sector_id: int) -> tuple:
+    hue = (sector_id * _GOLDEN) % 1.0
+    return _hsv_to_rgb(hue, 0.65, 0.95)
+
+
+def _hsv_to_rgb(h: float, s: float, v: float) -> tuple:
+    i = int(h * 6.0) % 6
+    f = h * 6.0 - int(h * 6.0)
+    p = v * (1.0 - s)
+    q = v * (1.0 - f * s)
+    t = v * (1.0 - (1.0 - f) * s)
+    rgb = [(v, t, p), (q, v, p), (p, v, t),
+           (p, q, v), (t, p, v), (v, p, q)][i]
+    return tuple(int(round(c * 255)) for c in rgb)
+
+
+def _resolve(name: str, suffix: str,
+             directory: Optional[Path] = None) -> Path:
+    if not name or "/" in name:
+        raise ValueError(f"bad image name {name!r}")
+    base = directory if directory is not None else results_dir()
+    base.mkdir(parents=True, exist_ok=True)
+    return base / f"{name}.{suffix}"
+
+
+def write_field_pgm(name: str, field: np.ndarray,
+                    lo: Optional[float] = None,
+                    hi: Optional[float] = None,
+                    directory: Optional[Path] = None) -> Path:
+    """Continuous raster -> 8-bit grayscale PGM (brighter = larger).
+
+    ``lo``/``hi`` pin the gray scale (to compare panels, as in
+    Figure 7); non-finite cells render black.
+    """
+    data = np.asarray(field, dtype=float)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        raise ValueError("field has no finite values")
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = max(hi - lo, 1e-12)
+    scaled = np.clip((data - lo) / span, 0.0, 1.0)
+    scaled = np.where(np.isfinite(data), scaled, 0.0)
+    pixels = (scaled * 255.0).astype(np.uint8)[::-1]   # north up
+
+    path = _resolve(name, "pgm", directory)
+    rows, cols = pixels.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{cols} {rows}\n255\n".encode("ascii"))
+        fh.write(pixels.tobytes())
+    return path
+
+
+def write_mask_pgm(name: str, mask: np.ndarray,
+                   directory: Optional[Path] = None) -> Path:
+    """Boolean raster -> black/white PGM (true = white)."""
+    return write_field_pgm(name, np.asarray(mask, dtype=float),
+                           lo=0.0, hi=1.0, directory=directory)
+
+
+def write_serving_ppm(name: str, serving: np.ndarray,
+                      directory: Optional[Path] = None) -> Path:
+    """Serving raster -> color PPM; coverage holes are black pixels.
+
+    This is the exact visual convention of the paper's Figure 4:
+    "grids that are served by the same sector are painted in the same
+    color. Black pixels indicate [grids below threshold]."
+    """
+    data = np.asarray(serving)
+    rows, cols = data.shape
+    rgb = np.zeros((rows, cols, 3), dtype=np.uint8)
+    for sector_id in np.unique(data):
+        mask = data == sector_id
+        if sector_id == NO_SERVICE:
+            rgb[mask] = (0, 0, 0)
+        else:
+            rgb[mask] = _sector_color(int(sector_id))
+    rgb = rgb[::-1]                                     # north up
+
+    path = _resolve(name, "ppm", directory)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{cols} {rows}\n255\n".encode("ascii"))
+        fh.write(rgb.tobytes())
+    return path

@@ -1,0 +1,123 @@
+"""Evaluation metrics and series builders for the paper's figures.
+
+Beyond the recovery ratio (which lives with the plan types in
+:mod:`repro.core.plan`), the evaluation needs the improvement ratio of
+Figure 13, empirical CDFs, grouped-mean tables, and the utility-vs-time
+timelines of Figure 12.  These are pure functions over the result
+objects so benches and tests share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["improvement_ratio", "empirical_cdf", "grouped_mean",
+           "ConvergenceTimelines", "build_convergence_timelines",
+           "summarize_improvements"]
+
+
+def improvement_ratio(magus_recovery: float, naive_recovery: float) -> float:
+    """Figure 13's metric: ``Magus recovery / naive recovery``.
+
+    When the naive approach recovers nothing, any positive Magus
+    recovery is an infinite improvement; both-zero counts as parity
+    (ratio 1), matching how ties are read off the paper's CDF.
+    """
+    if naive_recovery <= 0:
+        return float("inf") if magus_recovery > 0 else 1.0
+    return magus_recovery / naive_recovery
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their cumulative probabilities (right-continuous)."""
+    if len(values) == 0:
+        raise ValueError("empirical_cdf of an empty sample")
+    xs = np.sort(np.asarray(values, dtype=float))
+    ps = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ps
+
+
+def grouped_mean(rows: Iterable[Tuple],
+                 key_indices: Sequence[int],
+                 value_index: int) -> Dict[Tuple, float]:
+    """Mean of ``row[value_index]`` grouped by the keyed columns.
+
+    The Table-1 aggregation: per (area type, scenario, tuning) means
+    over the three markets.
+    """
+    sums: Dict[Tuple, float] = {}
+    counts: Dict[Tuple, int] = {}
+    for row in rows:
+        key = tuple(row[i] for i in key_indices)
+        sums[key] = sums.get(key, 0.0) + float(row[value_index])
+        counts[key] = counts.get(key, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def summarize_improvements(ratios: Sequence[float]) -> Dict[str, float]:
+    """The statistics the paper quotes about Figure 13.
+
+    Infinite ratios (naive recovered nothing, Magus something) are
+    excluded from the mean/max but counted in the win fractions.
+    """
+    arr = np.asarray(ratios, dtype=float)
+    if arr.size == 0:
+        raise ValueError("no ratios to summarize")
+    finite = arr[np.isfinite(arr)]
+    return {
+        "n_scenarios": float(arr.size),
+        "fraction_no_worse": float((arr >= 0.9999).mean()),
+        "fraction_30pct_better": float((arr > 1.3).mean()),
+        "max_ratio": float(finite.max()) if finite.size else float("inf"),
+        "mean_ratio": float(finite.mean()) if finite.size else float("inf"),
+        "min_ratio": float(np.min(arr)),
+    }
+
+
+@dataclass
+class ConvergenceTimelines:
+    """Figure 12: utility vs time for the four strategies."""
+
+    times: List[int]
+    proactive_model: List[float]
+    reactive_model: List[float]
+    no_tuning: List[float]
+    reactive_feedback: List[float]
+
+    def as_rows(self) -> List[Tuple]:
+        return list(zip(self.times, self.proactive_model,
+                        self.reactive_model, self.no_tuning,
+                        self.reactive_feedback))
+
+
+def build_convergence_timelines(f_before: float, f_upgrade: float,
+                                f_after: float,
+                                feedback_trace: Sequence[float],
+                                total_ticks: int = 25
+                                ) -> ConvergenceTimelines:
+    """Assemble the four post-upgrade utility traces.
+
+    Time 0 is the upgrade instant.  The proactive model-based strategy
+    is already at ``C_after`` (its utility never dips below
+    ``f(C_after)``); the reactive model-based one suffers exactly one
+    tick at ``f(C_upgrade)`` before jumping to ``C_after``; no-tuning
+    stays degraded; reactive feedback replays its measured climb one
+    move per tick.
+    """
+    if total_ticks < 1:
+        raise ValueError("need at least one tick")
+    times = list(range(total_ticks + 1))
+    proactive = [f_after] * len(times)
+    reactive_model = [f_upgrade] + [f_after] * total_ticks
+    no_tuning = [f_upgrade] * len(times)
+    feedback = []
+    trace = list(feedback_trace) if len(feedback_trace) else [f_upgrade]
+    for t in times:
+        feedback.append(trace[min(t, len(trace) - 1)])
+    return ConvergenceTimelines(times=times, proactive_model=proactive,
+                                reactive_model=reactive_model,
+                                no_tuning=no_tuning,
+                                reactive_feedback=feedback)

@@ -1,0 +1,96 @@
+"""Paper-style table and series formatting.
+
+The benches print the same rows the paper's tables and figure captions
+report; this module owns the plain-text layout so all benches look
+alike and tests can assert on structure rather than string soup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+__all__ = ["format_table", "format_table1", "format_table2",
+           "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table (right-aligned numeric cells)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i])
+                               for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_table1(recovery: Mapping[Tuple[str, str, str], float]) -> str:
+    """Render Table 1's layout: tuning rows x (area, scenario) columns.
+
+    ``recovery`` maps ``(tuning, area, scenario)`` to a recovery ratio
+    in [0, 1]-ish; cells print as percentages like the paper.
+    """
+    areas = ["rural", "suburban", "urban"]
+    scenarios = ["a", "b", "c"]
+    tunings = ["power", "tilt", "joint"]
+    headers = ["Types of Tuning"] + [
+        f"{area[:3]}({s})" for area in areas for s in scenarios]
+    rows = []
+    for tuning in tunings:
+        row: List = [f"{tuning.capitalize()}-Tuning"
+                     if tuning != "joint" else "Joint"]
+        for area in areas:
+            for s in scenarios:
+                value = recovery.get((tuning, area, s))
+                row.append("--" if value is None else f"{value * 100:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Table 1 — recovery ratio (Formula 7)")
+
+
+def format_table2(cells: Mapping[Tuple[str, str], float]) -> str:
+    """Render Table 2: optimization utility x scoring utility.
+
+    ``cells`` maps ``(optimized_for, scored_under)`` to a recovery
+    ratio; both axes use the registry names ``performance`` /
+    ``coverage``.
+    """
+    names = ["performance", "coverage"]
+    headers = ["Optimization \\ Recovery"] + [f"u_{n}" for n in names]
+    rows = []
+    for opt in names:
+        row: List = [f"u_{opt}"]
+        for scored in names:
+            value = cells.get((opt, scored))
+            row.append("--" if value is None else f"{value * 100:.1f}%")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Table 2 — recovery under different utilities")
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  y_format: str = "{:.3f}") -> str:
+    """One figure series as aligned ``x: y`` lines."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: " + y_format.format(y))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

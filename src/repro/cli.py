@@ -1,0 +1,174 @@
+"""Command-line interface: ``repro-magus <command>`` (or ``python -m repro``).
+
+Commands mirror the library's main workflows:
+
+* ``area``     — build a synthetic study area and print its coverage map;
+* ``mitigate`` — plan a mitigation for an upgrade scenario and report
+  the recovery ratio (optionally with the gradual schedule);
+* ``testbed``  — run a Section-3 testbed scenario and print the
+  Figure-2 timeline;
+* ``calendar`` — generate a year of upgrade tickets and print the
+  motivation statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.ascii_map import render_serving_map
+from .analysis.report import format_series, format_table
+from .core.magus import Magus, TUNING_STRATEGIES
+from .synthetic.calendar import (UpgradeCalendarGenerator, duration_stats,
+                                 weekday_histogram)
+from .synthetic.market import build_area
+from .synthetic.placement import AreaType
+from .testbed.experiment import run_upgrade_experiment
+from .testbed.testbed import build_scenario_one, build_scenario_two
+from .upgrades.scenario import UpgradeScenario, select_targets
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-magus",
+        description="Magus (CoNEXT 2015) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    area = sub.add_parser("area", help="build a study area, show coverage")
+    _add_area_args(area)
+
+    mitigate = sub.add_parser("mitigate",
+                              help="plan mitigation for an upgrade scenario")
+    _add_area_args(mitigate)
+    mitigate.add_argument("--scenario", choices=["a", "b", "c"], default="a")
+    mitigate.add_argument("--tuning", choices=list(TUNING_STRATEGIES),
+                          default="joint")
+    mitigate.add_argument("--utility",
+                          choices=["performance", "coverage", "sum-rate"],
+                          default="performance")
+    mitigate.add_argument("--gradual", action="store_true",
+                          help="also compute the gradual migration schedule")
+
+    testbed = sub.add_parser("testbed", help="run a Section-3 scenario")
+    testbed.add_argument("--scenario", type=int, choices=[1, 2], default=1)
+    testbed.add_argument("--seed", type=int, default=None)
+
+    calendar = sub.add_parser("calendar",
+                              help="synthesize a year of upgrade tickets")
+    calendar.add_argument("--seed", type=int, default=0)
+    calendar.add_argument("--sites", type=int, default=500)
+
+    validate = sub.add_parser(
+        "validate", help="drive-test the model against synthetic field "
+                         "measurements")
+    _add_area_args(validate)
+    validate.add_argument("--samples", type=int, default=500)
+    validate.add_argument("--noise-db", type=float, default=2.0)
+    return parser
+
+
+def _add_area_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--area-type",
+                        choices=[a.value for a in AreaType],
+                        default="suburban")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "area": _cmd_area,
+        "mitigate": _cmd_mitigate,
+        "testbed": _cmd_testbed,
+        "calendar": _cmd_calendar,
+        "validate": _cmd_validate,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+def _cmd_area(args) -> int:
+    area = build_area(AreaType(args.area_type), seed=args.seed)
+    print(f"{area.name}: {area.network.n_sectors} sectors over "
+          f"{area.grid.shape[0]}x{area.grid.shape[1]} grids "
+          f"({area.grid.cell_size:.0f} m cells)")
+    print(f"mean interferers within 10 km: {area.interferer_stats():.1f}")
+    for line in area.baseline.describe():
+        print(line)
+    print()
+    print(render_serving_map(area.baseline.serving))
+    return 0
+
+
+def _cmd_mitigate(args) -> int:
+    area = build_area(AreaType(args.area_type), seed=args.seed)
+    scenario = UpgradeScenario.from_label(args.scenario)
+    targets = select_targets(area, scenario)
+    magus = Magus.from_area(area, utility=args.utility)
+    plan = magus.plan_mitigation(targets, tuning=args.tuning)
+    for line in plan.describe():
+        print(line)
+    if args.gradual:
+        gradual = magus.gradual_schedule(plan)
+        direct = magus.direct_migration_stats(plan)
+        stats = gradual.stats()
+        print()
+        for line in stats.describe():
+            print(line)
+        print(f"direct-tuning peak: "
+              f"{direct.peak_simultaneous_ues:.0f} UEs "
+              f"(x{gradual.reduction_vs(direct):.1f} reduction)")
+    return 0
+
+
+def _cmd_testbed(args) -> int:
+    if args.scenario == 1:
+        bed, target = build_scenario_one(
+            **({} if args.seed is None else {"seed": args.seed}))
+    else:
+        bed, target = build_scenario_two(
+            **({} if args.seed is None else {"seed": args.seed}))
+    result = run_upgrade_experiment(bed, target)
+    print(f"scenario {args.scenario}: "
+          f"f(C_before)={result.f_before:.2f} "
+          f"f(C_upgrade)={result.f_upgrade:.2f} "
+          f"f(C_after)={result.f_after:.2f} "
+          f"recovery={result.recovery * 100:.0f}%")
+    tl = result.timeline
+    print(format_series("no tuning", tl.times, tl.no_tuning, "{:.2f}"))
+    print(format_series("reactive", tl.times, tl.reactive, "{:.2f}"))
+    print(format_series("proactive", tl.times, tl.proactive, "{:.2f}"))
+    return 0
+
+
+def _cmd_calendar(args) -> int:
+    tickets = UpgradeCalendarGenerator(n_sites=args.sites,
+                                       seed=args.seed).generate()
+    hist = weekday_histogram(tickets)
+    stats = duration_stats(tickets)
+    print(format_table(["weekday", "tickets"], list(hist.items()),
+                       title=f"{len(tickets)} tickets in one year"))
+    tue_fri = sum(hist[d] for d in ("Tue", "Wed", "Thu", "Fri")) / 4.0
+    others = sum(hist[d] for d in ("Mon", "Sat", "Sun")) / 3.0
+    print(f"Tue-Fri vs other days: x{tue_fri / others:.2f}")
+    print(f"median duration: {stats['median_hours']:.1f} h "
+          f"({stats['fraction_4_to_6h'] * 100:.0f}% in the 4-6 h band)")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis.validation import drive_test, validate_against
+    area = build_area(AreaType(args.area_type), seed=args.seed)
+    samples = drive_test(area.baseline, n_samples=args.samples,
+                         measurement_noise_db=args.noise_db,
+                         seed=args.seed)
+    for line in validate_against(area.baseline, samples).describe():
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":       # pragma: no cover
+    sys.exit(main())

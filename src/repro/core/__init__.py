@@ -1,0 +1,41 @@
+"""The Magus mitigation engine (paper Sections 2, 5 and 6)."""
+
+from .azimuth import AzimuthSearchSettings, tune_azimuth
+from .brute import BruteForceSettings, tune_brute_force
+from .evaluation import Evaluator
+from .feedback import FeedbackResult, FeedbackSettings, reactive_feedback
+from .gradual import (GradualResult, GradualSettings, decompose_changes,
+                      gradual_migration, simulate_direct)
+from .joint import tune_joint
+from .loadbalance import (LoadBalanceResult, LoadBalanceSettings,
+                          rebalance, sector_load_report)
+from .magus import Magus, TUNING_STRATEGIES
+from .naive import NaiveSettings, tune_naive
+from .plan import (ConfigChange, MitigationResult, Parameter, SearchStep,
+                   TuningResult, recovery_ratio)
+from .planning import PlanningSettings, optimize_planned_configuration
+from .search import PowerSearchSettings, tune_power
+from .tilt import TiltSearchSettings, tune_tilt
+from .utility import (CoverageUtility, PerformanceUtility, SumRateUtility,
+                      UtilityFunction, available_utilities, get_utility)
+
+__all__ = [
+    "AzimuthSearchSettings", "tune_azimuth",
+    "BruteForceSettings", "tune_brute_force",
+    "Evaluator",
+    "FeedbackResult", "FeedbackSettings", "reactive_feedback",
+    "GradualResult", "GradualSettings", "decompose_changes",
+    "gradual_migration", "simulate_direct",
+    "tune_joint",
+    "LoadBalanceResult", "LoadBalanceSettings", "rebalance",
+    "sector_load_report",
+    "Magus", "TUNING_STRATEGIES",
+    "NaiveSettings", "tune_naive",
+    "ConfigChange", "MitigationResult", "Parameter", "SearchStep",
+    "TuningResult", "recovery_ratio",
+    "PlanningSettings", "optimize_planned_configuration",
+    "PowerSearchSettings", "tune_power",
+    "TiltSearchSettings", "tune_tilt",
+    "CoverageUtility", "PerformanceUtility", "SumRateUtility",
+    "UtilityFunction", "available_utilities", "get_utility",
+]

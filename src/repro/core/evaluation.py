@@ -1,0 +1,93 @@
+"""The Evaluation component (paper Figure 6).
+
+:class:`Evaluator` binds the analysis engine, the fixed UE raster and a
+utility function, and answers "how good is configuration C?" — the
+feedback that "guides the selection of configurations iteratively until
+Magus converges to a satisfactory configuration".
+
+Configurations are immutable and hashable, so results are memoized:
+search algorithms freely re-ask about configurations they have seen
+(e.g. the incumbent at every iteration) without re-running the model.
+The evaluator also counts *distinct* model evaluations, which is the
+cost metric of the search-heuristic ablation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+from ..model.engine import AnalysisEngine
+from ..model.network import Configuration
+from ..model.snapshot import NetworkState
+from .utility import UtilityFunction, get_utility
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Memoizing ``f(C)`` oracle over a fixed engine + UE population."""
+
+    def __init__(self, engine: AnalysisEngine, ue_density: np.ndarray,
+                 utility: UtilityFunction | str = "performance",
+                 cache_size: int = 512) -> None:
+        if ue_density.shape != engine.grid.shape:
+            raise ValueError("UE raster does not match engine grid")
+        self.engine = engine
+        self.ue_density = np.asarray(ue_density, dtype=float)
+        self.utility = (get_utility(utility)
+                        if isinstance(utility, str) else utility)
+        self._cache: "OrderedDict[Configuration, Tuple[NetworkState, float]]" = \
+            OrderedDict()
+        self._cache_size = cache_size
+        self.model_evaluations = 0
+
+    # ------------------------------------------------------------------
+    def state_of(self, config: Configuration) -> NetworkState:
+        """The full snapshot for ``config`` (memoized)."""
+        return self._lookup(config)[0]
+
+    def utility_of(self, config: Configuration) -> float:
+        """``f(C)`` under the bound utility (memoized)."""
+        return self._lookup(config)[1]
+
+    def rescore(self, config: Configuration,
+                utility: UtilityFunction | str) -> float:
+        """``f(C)`` under a *different* utility, reusing the snapshot.
+
+        This is how Table 2's cross-recovery cells are computed: the
+        plan is found under one utility and re-scored under another.
+        """
+        other = get_utility(utility) if isinstance(utility, str) else utility
+        return other.evaluate(self.state_of(config))
+
+    def with_utility(self, utility: UtilityFunction | str) -> "Evaluator":
+        """A sibling evaluator sharing the engine and UE raster."""
+        return Evaluator(self.engine, self.ue_density, utility,
+                         cache_size=self._cache_size)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, config: Configuration) -> Tuple[NetworkState, float]:
+        hit = self._cache.get(config)
+        if hit is not None:
+            self._cache.move_to_end(config)
+            return hit
+        state = self.engine.evaluate(config, self.ue_density)
+        value = self.utility.evaluate(state)
+        self.model_evaluations += 1
+        self._cache[config] = (state, value)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return self._cache[config]
+
+    # ------------------------------------------------------------------
+    def received_power_tensor(self, config: Configuration) -> np.ndarray:
+        """Per-sector RP planes for ``config`` (candidate pre-filtering).
+
+        Exposed for Algorithm 1's cheap "can sector b possibly improve
+        an affected grid?" test, which needs every sector's received
+        power, not just the serving one.
+        """
+        return self.engine._received_power_dbm(config)

@@ -1,0 +1,11 @@
+"""UE migration accounting: attachments, handover events, statistics."""
+
+from .attachment import AttachmentDiff, attachment_diff
+from .events import HandoverBatch, HandoverKind, classify_batch
+from .migration import MigrationStats, reduction_factor, summarize_batches
+
+__all__ = [
+    "AttachmentDiff", "attachment_diff",
+    "HandoverBatch", "HandoverKind", "classify_batch",
+    "MigrationStats", "reduction_factor", "summarize_batches",
+]

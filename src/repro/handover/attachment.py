@@ -1,0 +1,72 @@
+"""Grid-to-sector attachment maps and their step-to-step diffs.
+
+UE migration is tracked at grid granularity, consistent with the
+coverage model: a grid's UE population is attached to the grid's
+serving sector, and a tuning step that changes the serving sector of a
+grid hands all of that grid's UEs over at once.  The diff between two
+snapshots is therefore the complete handover ledger of one step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..model.snapshot import NO_SERVICE, NetworkState
+
+__all__ = ["AttachmentDiff", "attachment_diff"]
+
+
+@dataclass(frozen=True)
+class AttachmentDiff:
+    """UE movements between two consecutive snapshots.
+
+    ``handover_ues`` counts UEs whose serving sector changed between
+    two *served* states; ``dropped_ues`` lost service entirely;
+    ``regained_ues`` went from no service to served (an attach, not a
+    handover).
+    """
+
+    handover_ues: float
+    dropped_ues: float
+    regained_ues: float
+    moved_grids: int
+    source_sectors: np.ndarray   # sector each moved grid left
+    dest_sectors: np.ndarray     # sector each moved grid joined
+    moved_ue_counts: np.ndarray  # UEs per moved grid
+
+    @property
+    def total_affected_ues(self) -> float:
+        return self.handover_ues + self.dropped_ues + self.regained_ues
+
+    def handovers_from(self, sector_id: int) -> float:
+        """UEs handed over whose *source* was ``sector_id``."""
+        mask = self.source_sectors == sector_id
+        return float(self.moved_ue_counts[mask].sum())
+
+
+def attachment_diff(before: NetworkState, after: NetworkState) -> AttachmentDiff:
+    """The handover ledger for the transition ``before -> after``.
+
+    UE populations are read from ``before`` (the people being moved are
+    the ones who were there); both snapshots must share the raster and
+    the density field in normal use.
+    """
+    if before.grid.shape != after.grid.shape:
+        raise ValueError("snapshots use different rasters")
+    b = before.serving
+    a = after.serving
+    density = before.ue_density
+
+    moved = (b != a) & (b != NO_SERVICE) & (a != NO_SERVICE)
+    dropped = (b != NO_SERVICE) & (a == NO_SERVICE)
+    regained = (b == NO_SERVICE) & (a != NO_SERVICE)
+
+    return AttachmentDiff(
+        handover_ues=float(density[moved].sum()),
+        dropped_ues=float(density[dropped].sum()),
+        regained_ues=float(density[regained].sum()),
+        moved_grids=int(moved.sum()),
+        source_sectors=b[moved].copy(),
+        dest_sectors=a[moved].copy(),
+        moved_ue_counts=density[moved].copy())

@@ -1,0 +1,40 @@
+"""The cellular coverage & capacity model (paper Section 4).
+
+Public surface of the modeling substrate: geometry, antennas,
+propagation, the path-loss database, link adaptation, network /
+configuration types, the analysis engine and snapshot views.
+"""
+
+from .antenna import AntennaPattern, TiltRange, PAPER_TILT_SETTINGS
+from .coverage import CoverageMap, coverage_change, coverage_map
+from .engine import AnalysisEngine, DEFAULT_NOISE_DBM
+from .fields import correlated_gaussian_field, power_law_field
+from .geometry import GridSpec, Region, PAPER_GRID_SIZE_M
+from .linkrate import (CQI_SINR_THRESHOLDS_DB, CQI_TABLE, CqiEntry,
+                       LinkAdaptation, PAPER_SINR_MIN_DB)
+from .load import (DEFAULT_UES_PER_SECTOR, density_from_field,
+                   uniform_per_sector_density)
+from .network import (BaseStation, CellularNetwork, Configuration,
+                      Sector, SECTORS_PER_SITE)
+from .pathloss import PathLossDatabase
+from .propagation import (CLUTTER_LOSS_DB, ClutterClass, Environment,
+                          PropagationModel, SPMParameters, Transmitter)
+from .snapshot import NetworkState, NO_SERVICE
+
+__all__ = [
+    "AntennaPattern", "TiltRange", "PAPER_TILT_SETTINGS",
+    "CoverageMap", "coverage_change", "coverage_map",
+    "AnalysisEngine", "DEFAULT_NOISE_DBM",
+    "correlated_gaussian_field", "power_law_field",
+    "GridSpec", "Region", "PAPER_GRID_SIZE_M",
+    "CQI_SINR_THRESHOLDS_DB", "CQI_TABLE", "CqiEntry",
+    "LinkAdaptation", "PAPER_SINR_MIN_DB",
+    "DEFAULT_UES_PER_SECTOR", "density_from_field",
+    "uniform_per_sector_density",
+    "BaseStation", "CellularNetwork", "Configuration", "Sector",
+    "SECTORS_PER_SITE",
+    "PathLossDatabase",
+    "CLUTTER_LOSS_DB", "ClutterClass", "Environment",
+    "PropagationModel", "SPMParameters", "Transmitter",
+    "NetworkState", "NO_SERVICE",
+]

@@ -1,0 +1,90 @@
+"""Coverage-map views over network snapshots (paper Figures 4-5, 8).
+
+These helpers reduce a :class:`~repro.model.snapshot.NetworkState` to
+the map products the paper draws: the per-grid serving map ("grids that
+are served by the same sector are painted in the same color"), the
+out-of-service mask ("black pixels"), and area-level statistics such as
+the covered fraction and footprint sizes used to compare rural /
+suburban / urban regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .geometry import Region
+from .snapshot import NO_SERVICE, NetworkState
+
+__all__ = ["CoverageMap", "coverage_map", "coverage_change"]
+
+
+@dataclass(frozen=True)
+class CoverageMap:
+    """Serving map plus derived coverage statistics."""
+
+    serving: np.ndarray          # sector id per grid, NO_SERVICE for holes
+    rp_best_dbm: np.ndarray
+    covered: np.ndarray          # boolean service mask
+
+    @property
+    def covered_fraction(self) -> float:
+        """Fraction of grids receiving service."""
+        return float(self.covered.mean())
+
+    @property
+    def hole_fraction(self) -> float:
+        return 1.0 - self.covered_fraction
+
+    def footprint_sizes(self) -> Dict[int, int]:
+        """Grids served per sector (sector "list of serving grids" sizes)."""
+        ids, counts = np.unique(self.serving[self.serving >= 0],
+                                return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+    def sector_count(self) -> int:
+        """Distinct sectors actually serving at least one grid."""
+        return len(self.footprint_sizes())
+
+
+def coverage_map(state: NetworkState,
+                 region: Optional[Region] = None) -> CoverageMap:
+    """Build a :class:`CoverageMap`, optionally restricted to ``region``.
+
+    Restriction matters because the paper evaluates a 10 km tuning area
+    inside a 30 km analysis raster: statistics quoted per area type are
+    computed over the inner region only.
+    """
+    serving = state.serving
+    rp = state.rp_best_dbm
+    covered = state.covered_mask()
+    if region is not None:
+        mask = state.grid.mask_of_region(region)
+        serving = np.where(mask, serving, NO_SERVICE)
+        rp = np.where(mask, rp, -np.inf)
+        covered = covered & mask
+    return CoverageMap(serving=serving, rp_best_dbm=rp, covered=covered)
+
+
+def coverage_change(before: NetworkState,
+                    after: NetworkState) -> Dict[str, float]:
+    """Summary of what an upgrade (or a tuning) did to coverage.
+
+    Returns grid counts for newly lost service, newly gained service,
+    and grids whose serving sector changed — the raw material for the
+    paper's Figure 10 discussion of rural recovery limits.
+    """
+    lost = before.covered_mask() & ~after.covered_mask()
+    gained = ~before.covered_mask() & after.covered_mask()
+    both = before.covered_mask() & after.covered_mask()
+    reassigned = both & (before.serving != after.serving)
+    return {
+        "grids_lost": float(lost.sum()),
+        "grids_gained": float(gained.sum()),
+        "grids_reassigned": float(reassigned.sum()),
+        "ues_lost": float(before.ue_density[lost].sum()),
+        "ues_gained": float(before.ue_density[gained].sum()),
+        "ues_reassigned": float(before.ue_density[reassigned].sum()),
+    }

@@ -1,0 +1,144 @@
+"""The vectorized analysis engine (paper Section 4.1, Formulae 1-4).
+
+Given the path-loss database, a configuration and a UE population, the
+engine computes received power, serving assignment, SINR, single-user
+rate and load-shared actual rate for every grid — the "Analysis Model"
+box of the paper's Figure 6.  This is the inner loop of every search
+algorithm, so everything is NumPy-tensorized: one evaluation of a
+60-sector, 120x120-grid scenario is a handful of array ops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .linkrate import LinkAdaptation
+from .network import Configuration
+from .pathloss import PathLossDatabase
+from .snapshot import NO_SERVICE, NetworkState
+
+__all__ = ["AnalysisEngine", "DEFAULT_NOISE_DBM"]
+
+#: Thermal noise over 10 MHz (-174 dBm/Hz + 70 dB) plus a 7 dB UE noise
+#: figure: the paper's "Noise" term in Formula 2.
+DEFAULT_NOISE_DBM = -97.0
+
+
+class AnalysisEngine:
+    """Evaluates configurations against a fixed UE population.
+
+    Parameters
+    ----------
+    pathloss:
+        The per-sector/tilt gain database over the analysis raster.
+    link:
+        SINR -> rate mapping (defaults to the paper's 10 MHz LTE).
+    noise_dbm:
+        Receiver noise floor entering Formula 2.
+    min_rp_dbm:
+        Grids where even the best sector's received power falls below
+        this are treated as unservable regardless of SINR; planning
+        tools apply the same RSRP-style floor (and the paper's Figure 4
+        black pixels use "receive power below a threshold").
+    """
+
+    def __init__(self, pathloss: PathLossDatabase,
+                 link: Optional[LinkAdaptation] = None,
+                 noise_dbm: float = DEFAULT_NOISE_DBM,
+                 min_rp_dbm: float = -120.0) -> None:
+        self.pathloss = pathloss
+        self.link = link or LinkAdaptation()
+        self.noise_dbm = noise_dbm
+        self.min_rp_dbm = min_rp_dbm
+        self.grid = pathloss.grid
+        self.evaluations = 0  # instrumentation for ablation benches
+
+    # ------------------------------------------------------------------
+    def evaluate(self, config: Configuration,
+                 ue_density: np.ndarray) -> NetworkState:
+        """Full grid/sector snapshot for ``config`` (Formulae 1-4)."""
+        if config.n_sectors != self.pathloss.network.n_sectors:
+            raise ValueError("configuration does not match network")
+        if ue_density.shape != self.grid.shape:
+            raise ValueError("UE density raster shape mismatch")
+        if not np.all(np.isfinite(ue_density)):
+            raise ValueError("UE density must be finite (corrupt raster?)")
+        if np.any(ue_density < 0):
+            raise ValueError("UE density must be non-negative")
+        self.evaluations += 1
+
+        rp_dbm = self._received_power_dbm(config)          # (S, H, W)
+        serving, rp_best, interference, sinr_db = self._sinr(rp_dbm)
+        rmax = self.link.max_rate_bps(sinr_db)
+        rmax = np.where(rp_best >= self.min_rp_dbm, rmax, 0.0)
+        serving = np.where(rmax > 0.0, serving, NO_SERVICE)
+
+        n_ue = self._shared_load(serving, ue_density)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rate = np.where(n_ue > 0, rmax / np.maximum(n_ue, 1e-12), rmax)
+        return NetworkState(
+            grid=self.grid, config=config, serving=serving,
+            rp_best_dbm=rp_best, interference_dbm=interference,
+            sinr_db=sinr_db, max_rate_bps=rmax, n_ue=n_ue,
+            rate_bps=rate, ue_density=np.asarray(ue_density, dtype=float))
+
+    # ------------------------------------------------------------------
+    def _received_power_dbm(self, config: Configuration) -> np.ndarray:
+        """Formula 1 per sector: ``RP_b(g) = P_b + L_b(T_b, g)``.
+
+        Off-air sectors radiate nothing: their plane is set to -inf so
+        they can neither serve nor interfere.
+        """
+        gains = self.pathloss.gain_tensor(config.tilts(),
+                                           config.azimuth_offsets())
+        powers = config.powers()[:, None, None]
+        rp = powers + gains
+        inactive = ~config.active_mask()
+        if inactive.any():
+            rp = rp.copy()
+            rp[inactive] = -np.inf
+        return rp
+
+    def _sinr(self, rp_dbm: np.ndarray):
+        """Formula 2: best sector is signal, the rest is interference."""
+        rp_mw = _dbm_to_mw(rp_dbm)
+        total_mw = rp_mw.sum(axis=0)
+        serving = np.argmax(rp_dbm, axis=0).astype(np.int32)
+        rp_best_dbm = np.take_along_axis(
+            rp_dbm, serving[None, ...], axis=0)[0]
+        best_mw = _dbm_to_mw(rp_best_dbm)
+        noise_mw = _dbm_to_mw(np.asarray(self.noise_dbm))
+        interference_mw = np.maximum(total_mw - best_mw, 0.0)
+        with np.errstate(divide="ignore"):
+            sinr_db = 10.0 * np.log10(
+                np.maximum(best_mw, 1e-300)
+                / (noise_mw + interference_mw))
+            interference_dbm = np.where(
+                interference_mw > 0,
+                10.0 * np.log10(np.maximum(interference_mw, 1e-300)),
+                -np.inf)
+        # Grids where no sector radiates at all (everything off-air).
+        sinr_db = np.where(np.isfinite(rp_best_dbm), sinr_db, -np.inf)
+        return serving, rp_best_dbm, interference_dbm, sinr_db
+
+    @staticmethod
+    def _shared_load(serving: np.ndarray, ue_density: np.ndarray) -> np.ndarray:
+        """Formula 3: ``N(g)`` = UEs attached to grid g's serving sector."""
+        n_ue = np.zeros(serving.shape)
+        served = serving >= 0
+        if not served.any():
+            return n_ue
+        flat_serving = serving[served]
+        loads = np.bincount(flat_serving,
+                            weights=ue_density[served])
+        n_ue[served] = loads[flat_serving]
+        return n_ue
+
+
+def _dbm_to_mw(dbm: np.ndarray) -> np.ndarray:
+    """dBm -> milliwatts, mapping -inf to exactly 0."""
+    with np.errstate(over="ignore"):
+        mw = np.power(10.0, np.asarray(dbm, dtype=float) / 10.0)
+    return np.where(np.isneginf(dbm), 0.0, mw)

@@ -1,0 +1,79 @@
+"""Correlated random fields used for shadowing and synthetic terrain.
+
+Radio shadowing is log-normal with an exponential spatial
+autocorrelation (Gudmundson's model); terrain is well approximated by
+spectral synthesis (power-law spectra).  Both reduce to "white noise
+smoothed with a kernel and renormalized", implemented here once so the
+path-loss database and the synthetic-data generators agree on the
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["correlated_gaussian_field", "power_law_field"]
+
+
+def correlated_gaussian_field(shape: Tuple[int, int],
+                              correlation_cells: float,
+                              sigma: float,
+                              rng: np.random.Generator) -> np.ndarray:
+    """A zero-mean Gaussian field with tunable spatial correlation.
+
+    Parameters
+    ----------
+    shape:
+        ``(rows, cols)`` of the raster.
+    correlation_cells:
+        Decorrelation length expressed in cells; Gudmundson's model for
+        urban macro uses ~50 m, i.e. half a paper grid cell.
+    sigma:
+        Marginal standard deviation of the output field.
+    rng:
+        Source of randomness (pass a seeded ``np.random.default_rng``).
+
+    White noise is smoothed with a Gaussian kernel of the requested
+    correlation length, then rescaled so the sample standard deviation
+    equals ``sigma`` (a zero-sigma request returns exact zeros).
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if sigma == 0:
+        return np.zeros(shape)
+    noise = rng.standard_normal(shape)
+    if correlation_cells > 0:
+        noise = ndimage.gaussian_filter(noise, sigma=correlation_cells,
+                                        mode="reflect")
+    std = noise.std()
+    if std == 0:  # degenerate 1x1 rasters
+        return np.zeros(shape)
+    return noise * (sigma / std)
+
+
+def power_law_field(shape: Tuple[int, int], beta: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Spectral-synthesis fractal field with spectrum ``1/f^beta``.
+
+    ``beta ~ 3`` gives natural-looking terrain (fractional Brownian
+    surface).  The output is normalized to zero mean, unit variance;
+    callers scale and offset to the elevation range they want.
+    """
+    rows, cols = shape
+    if rows < 1 or cols < 1:
+        raise ValueError("shape must be positive")
+    fy = np.fft.fftfreq(rows)[:, None]
+    fx = np.fft.fftfreq(cols)[None, :]
+    freq = np.hypot(fy, fx)
+    freq[0, 0] = np.inf  # kill the DC term
+    amplitude = freq ** (-beta / 2.0)
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=shape)
+    spectrum = amplitude * np.exp(1j * phase)
+    fieldr = np.real(np.fft.ifft2(spectrum))
+    std = fieldr.std()
+    if std == 0:
+        return np.zeros(shape)
+    return (fieldr - fieldr.mean()) / std

@@ -1,0 +1,190 @@
+"""Geographical grids and coordinate frames for the coverage model.
+
+The paper's model (Section 4.1) partitions the analysis region into
+rectangular grids of 100 m x 100 m and computes every quantity (path
+loss, received power, SINR, rate, UE count) per grid.  This module
+provides the two small value types everything else builds on:
+
+``GridSpec``
+    An axis-aligned rectangular region partitioned into equal cells.
+    It converts between metric coordinates (meters, with ``(0, 0)`` at
+    the region's south-west corner) and integer cell indices
+    ``(row, col)`` where row 0 is the southernmost row.
+
+``Region``
+    A metric rectangle, used to express the paper's distinction between
+    the *tuning area* (10 km x 10 km in the paper) and the larger
+    *analysis area* (30 km x 30 km) that avoids boundary effects.
+
+All distances are meters; all angles elsewhere in the package are
+degrees unless noted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["GridSpec", "Region", "PAPER_GRID_SIZE_M"]
+
+#: Grid cell edge used throughout the paper (Section 4.2): 100 m.
+PAPER_GRID_SIZE_M = 100.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned metric rectangle ``[x0, x1) x [y0, y1)``."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise ValueError(f"degenerate region: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point ``(x, y)`` lies inside the rectangle."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def expanded(self, margin: float) -> "Region":
+        """A region grown by ``margin`` meters on every side.
+
+        The paper tunes sectors inside a 10 km x 10 km area but
+        evaluates utility over a 30 km x 30 km area; ``expanded`` is the
+        canonical way to build the latter from the former.
+        """
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Region(self.x0 - margin, self.y0 - margin,
+                      self.x1 + margin, self.y1 + margin)
+
+    @classmethod
+    def square(cls, side: float, center: Tuple[float, float] = (0.0, 0.0)) -> "Region":
+        """A square region of edge ``side`` centered at ``center``."""
+        cx, cy = center
+        half = side / 2.0
+        return cls(cx - half, cy - half, cx + half, cy + half)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A rectangular region partitioned into equal square cells.
+
+    Parameters
+    ----------
+    region:
+        The covered metric rectangle.
+    cell_size:
+        Cell edge in meters (paper: 100 m).
+
+    The number of rows/cols is ``ceil(extent / cell_size)``; the last
+    row/col may therefore overhang ``region`` slightly, which mirrors
+    how planning-tool rasters behave.
+    """
+
+    region: Region
+    cell_size: float = PAPER_GRID_SIZE_M
+
+    def __post_init__(self) -> None:
+        if self.cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+
+    @property
+    def n_rows(self) -> int:
+        return int(math.ceil(self.region.height / self.cell_size))
+
+    @property
+    def n_cols(self) -> int:
+        return int(math.ceil(self.region.width / self.cell_size))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_rows * self.n_cols
+
+    # ------------------------------------------------------------------
+    # coordinate conversion
+    # ------------------------------------------------------------------
+    def cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        """The ``(row, col)`` of the cell containing metric point (x, y)."""
+        if not self.region.contains(x, y):
+            raise ValueError(f"point ({x}, {y}) outside {self.region}")
+        row = int((y - self.region.y0) // self.cell_size)
+        col = int((x - self.region.x0) // self.cell_size)
+        # Clamp for points lying exactly on the far edge of the last cell.
+        return (min(row, self.n_rows - 1), min(col, self.n_cols - 1))
+
+    def center_of(self, row: int, col: int) -> Tuple[float, float]:
+        """The metric center of cell ``(row, col)``."""
+        self._check_cell(row, col)
+        x = self.region.x0 + (col + 0.5) * self.cell_size
+        y = self.region.y0 + (row + 0.5) * self.cell_size
+        return (x, y)
+
+    def _check_cell(self, row: int, col: int) -> None:
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(f"cell ({row}, {col}) outside grid {self.shape}")
+
+    # ------------------------------------------------------------------
+    # vectorized helpers (used by the propagation engine)
+    # ------------------------------------------------------------------
+    def cell_centers(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Arrays ``(X, Y)`` of shape ``(n_rows, n_cols)`` of cell centers."""
+        xs = self.region.x0 + (np.arange(self.n_cols) + 0.5) * self.cell_size
+        ys = self.region.y0 + (np.arange(self.n_rows) + 0.5) * self.cell_size
+        return np.meshgrid(xs, ys)
+
+    def distances_from(self, x: float, y: float) -> np.ndarray:
+        """Euclidean distance (m) from ``(x, y)`` to every cell center."""
+        gx, gy = self.cell_centers()
+        return np.hypot(gx - x, gy - y)
+
+    def bearings_from(self, x: float, y: float) -> np.ndarray:
+        """Compass bearing (deg, 0 = north, clockwise) to every cell center.
+
+        Cellular azimuths are conventionally compass bearings, so the
+        antenna model consumes this convention directly.
+        """
+        gx, gy = self.cell_centers()
+        return (np.degrees(np.arctan2(gx - x, gy - y))) % 360.0
+
+    def mask_of_region(self, sub: Region) -> np.ndarray:
+        """Boolean mask of the cells whose centers lie inside ``sub``."""
+        gx, gy = self.cell_centers()
+        return ((gx >= sub.x0) & (gx < sub.x1) &
+                (gy >= sub.y0) & (gy < sub.y1))
+
+    def iter_cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(row, col)`` pairs in row-major order."""
+        for row in range(self.n_rows):
+            for col in range(self.n_cols):
+                yield (row, col)
+
+    def flatten_index(self, row: int, col: int) -> int:
+        """Row-major flat index of cell ``(row, col)``."""
+        self._check_cell(row, col)
+        return row * self.n_cols + col

@@ -1,0 +1,172 @@
+"""SINR-to-rate mapping via 3GPP LTE link-adaptation tables.
+
+The paper (Section 4.1) maps each grid's SINR to a Modulation and
+Coding Scheme (MCS) index, then through the Transport Block Size (TBS)
+index tables of 3GPP TS 36.213 to a downlink rate, with a minimum-SINR
+cutoff below which the grid is out of service.
+
+We encode:
+
+* the CQI table of TS 36.213 Table 7.2.3-1 **exactly** (modulation
+  order, code rate x 1024, spectral efficiency), and
+* the widely used per-CQI SINR decision thresholds from LTE link-level
+  curves (as used, e.g., by the LENA simulator the paper cites [5]).
+
+The final TBS lookup (Tables 7.1.7.1-1 / 7.1.7.2.1-1) is approximated
+by ``rate = efficiency x PRB resource elements / TTI``, since the full
+27 x 110 TBS table cannot be reconstructed from the paper; the
+approximation is within the TBS quantization error (documented in
+DESIGN.md).  The mapping is monotone in SINR, which is the property the
+search algorithm relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CqiEntry",
+    "CQI_TABLE",
+    "CQI_SINR_THRESHOLDS_DB",
+    "LinkAdaptation",
+    "PAPER_SINR_MIN_DB",
+]
+
+
+@dataclass(frozen=True)
+class CqiEntry:
+    """One row of TS 36.213 Table 7.2.3-1."""
+
+    cqi: int
+    modulation: str
+    modulation_order: int          # bits per symbol
+    code_rate_x1024: int
+    efficiency: float              # bits per resource element
+
+
+#: TS 36.213 Table 7.2.3-1 (4-bit CQI table), rows 1..15.  CQI 0 means
+#: "out of range" and is handled by the SINR_min cutoff.
+CQI_TABLE: Tuple[CqiEntry, ...] = (
+    CqiEntry(1, "QPSK", 2, 78, 0.1523),
+    CqiEntry(2, "QPSK", 2, 120, 0.2344),
+    CqiEntry(3, "QPSK", 2, 193, 0.3770),
+    CqiEntry(4, "QPSK", 2, 308, 0.6016),
+    CqiEntry(5, "QPSK", 2, 449, 0.8770),
+    CqiEntry(6, "QPSK", 2, 602, 1.1758),
+    CqiEntry(7, "16QAM", 4, 378, 1.4766),
+    CqiEntry(8, "16QAM", 4, 490, 1.9141),
+    CqiEntry(9, "16QAM", 4, 616, 2.4063),
+    CqiEntry(10, "64QAM", 6, 466, 2.7305),
+    CqiEntry(11, "64QAM", 6, 567, 3.3223),
+    CqiEntry(12, "64QAM", 6, 666, 3.9023),
+    CqiEntry(13, "64QAM", 6, 772, 4.5234),
+    CqiEntry(14, "64QAM", 6, 873, 5.1152),
+    CqiEntry(15, "64QAM", 6, 948, 5.5547),
+)
+
+#: Minimum SINR (dB) at which each CQI (1..15) is decodable at 10% BLER;
+#: standard values derived from LTE link-level simulation curves.
+CQI_SINR_THRESHOLDS_DB: Tuple[float, ...] = (
+    -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1,
+    10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+)
+
+#: The paper applies an SINR_min service threshold (Section 4.1).  The
+#: default matches CQI 1 decodability.
+PAPER_SINR_MIN_DB = -6.7
+
+#: LTE resource grid constants.
+_SUBCARRIERS_PER_PRB = 12
+_SYMBOLS_PER_SUBFRAME = 14
+_CONTROL_SYMBOLS = 3           # PDCCH region: usable symbols = 14 - 3
+_TTI_SECONDS = 1e-3
+_PRB_PER_MHZ = 5               # 10 MHz -> 50 PRB, 20 MHz -> 100 PRB
+
+
+class LinkAdaptation:
+    """Maps SINR (dB) to CQI and downlink rate (bits/s) for one carrier.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        Carrier bandwidth; the paper's testbed uses 10 MHz (50 PRBs).
+    sinr_min_db:
+        Out-of-service threshold; grids below it get rate 0 and count as
+        coverage holes (paper: ``rmax(g) = 0``).
+    """
+
+    def __init__(self, bandwidth_mhz: float = 10.0,
+                 sinr_min_db: float = PAPER_SINR_MIN_DB) -> None:
+        if bandwidth_mhz <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_mhz = bandwidth_mhz
+        self.sinr_min_db = sinr_min_db
+        self._thresholds = np.asarray(CQI_SINR_THRESHOLDS_DB)
+        self._efficiencies = np.asarray([e.efficiency for e in CQI_TABLE])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_prb(self) -> int:
+        """Physical resource blocks of the carrier."""
+        return int(round(self.bandwidth_mhz * _PRB_PER_MHZ))
+
+    @property
+    def resource_elements_per_tti(self) -> int:
+        """Data-usable resource elements per 1 ms subframe."""
+        return (self.n_prb * _SUBCARRIERS_PER_PRB
+                * (_SYMBOLS_PER_SUBFRAME - _CONTROL_SYMBOLS))
+
+    @property
+    def peak_rate_bps(self) -> float:
+        """Rate at CQI 15 — the carrier's single-user ceiling."""
+        return self.rate_for_cqi(15)
+
+    # ------------------------------------------------------------------
+    def cqi_for_sinr(self, sinr_db: np.ndarray | float) -> np.ndarray:
+        """Highest decodable CQI (0 if below the CQI-1 threshold).
+
+        Note CQI 0 is distinct from the service cutoff: a grid can have
+        CQI >= 1 yet be out of service if ``sinr_min_db`` is set above
+        the CQI-1 threshold (the paper deliberately chooses a high
+        threshold for its Figure 4 illustration).
+        """
+        sinr = np.asarray(sinr_db, dtype=float)
+        return np.searchsorted(self._thresholds, sinr, side="right")
+
+    def rate_for_cqi(self, cqi: int) -> float:
+        """Single-user rate (bits/s) sustained at CQI ``cqi``."""
+        if not 0 <= cqi <= 15:
+            raise ValueError(f"CQI must be in [0, 15], got {cqi}")
+        if cqi == 0:
+            return 0.0
+        eff = CQI_TABLE[cqi - 1].efficiency
+        return eff * self.resource_elements_per_tti / _TTI_SECONDS
+
+    def max_rate_bps(self, sinr_db: np.ndarray | float) -> np.ndarray:
+        """Paper's ``rmax(g)``: single-user rate, 0 when out of service."""
+        sinr = np.asarray(sinr_db, dtype=float)
+        cqi = self.cqi_for_sinr(sinr)
+        eff = np.where(cqi > 0, self._efficiencies[np.maximum(cqi - 1, 0)], 0.0)
+        rate = eff * self.resource_elements_per_tti / _TTI_SECONDS
+        return np.where(sinr >= self.sinr_min_db, rate, 0.0)
+
+    def spectral_efficiency(self, sinr_db: np.ndarray | float) -> np.ndarray:
+        """Bits per resource element at the decodable CQI (0 if none)."""
+        cqi = self.cqi_for_sinr(np.asarray(sinr_db, dtype=float))
+        return np.where(cqi > 0,
+                        self._efficiencies[np.maximum(cqi - 1, 0)], 0.0)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> List[str]:
+        """Human-readable rows of the encoded CQI table (for reports)."""
+        rows = []
+        for entry, thr in zip(CQI_TABLE, CQI_SINR_THRESHOLDS_DB):
+            rows.append(
+                f"CQI {entry.cqi:2d}  {entry.modulation:6s} "
+                f"rate {entry.code_rate_x1024:4d}/1024  "
+                f"eff {entry.efficiency:6.4f}  SINR >= {thr:5.1f} dB  "
+                f"-> {self.rate_for_cqi(entry.cqi) / 1e6:6.2f} Mb/s")
+        return rows

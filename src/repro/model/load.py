@@ -1,0 +1,86 @@
+"""UE population rasters (paper Section 4.2, "UE Distribution").
+
+The paper lacked fine-grained LTE UE positions and assumes "all grids
+served by a particular sector contain the same number of UEs (i.e., UE
+distribution follows a uniform distribution at the sector level)".
+:func:`uniform_per_sector_density` realizes exactly that, anchored to a
+baseline serving map; :func:`density_from_field` supports the paper's
+stated future extension ("if finer-grain information about UE
+distribution across grids were available, we could easily incorporate
+this into our model").
+
+The resulting raster is *fixed* across configurations: taking a sector
+off-air moves its users to whichever sector now covers their grid, it
+does not move the users themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from .snapshot import NetworkState
+
+__all__ = ["uniform_per_sector_density", "density_from_field",
+           "DEFAULT_UES_PER_SECTOR"]
+
+#: A busy macro sector serves on the order of a few hundred attached
+#: UEs; used when per-sector counts are not supplied.
+DEFAULT_UES_PER_SECTOR = 200.0
+
+
+def uniform_per_sector_density(
+        baseline: NetworkState,
+        ues_per_sector: float | Mapping[int, float] = DEFAULT_UES_PER_SECTOR,
+) -> np.ndarray:
+    """Spread each sector's UE count uniformly over its served grids.
+
+    Parameters
+    ----------
+    baseline:
+        The pre-upgrade snapshot (``C_before``) whose serving map
+        defines each sector's footprint.
+    ues_per_sector:
+        Either one number for every sector or a per-sector mapping
+        (sector id -> attached-UE total), mirroring the operational
+        per-sector counts the paper divides by footprint size.
+
+    Returns the per-grid UE count raster ``UE(g)``; grids outside any
+    footprint get zero.
+    """
+    density = np.zeros(baseline.grid.shape)
+    for sector_id in baseline.config.active_sector_ids():
+        mask = baseline.serving == sector_id
+        n_grids = int(mask.sum())
+        if n_grids == 0:
+            continue
+        if isinstance(ues_per_sector, Mapping):
+            total = float(ues_per_sector.get(sector_id, 0.0))
+        else:
+            total = float(ues_per_sector)
+        if total < 0:
+            raise ValueError(f"negative UE count for sector {sector_id}")
+        density[mask] = total / n_grids
+    return density
+
+
+def density_from_field(baseline: NetworkState,
+                       population_field: np.ndarray,
+                       total_ues: Optional[float] = None) -> np.ndarray:
+    """Fine-grained UE raster from an arbitrary population field.
+
+    The field is restricted to covered grids (users outside coverage
+    are invisible to the operator) and optionally renormalized so the
+    network-wide UE total equals ``total_ues`` — which keeps utility
+    values comparable with the uniform model.
+    """
+    if population_field.shape != baseline.grid.shape:
+        raise ValueError("population field shape mismatch")
+    if np.any(population_field < 0):
+        raise ValueError("population field must be non-negative")
+    density = np.where(baseline.covered_mask(), population_field, 0.0)
+    current = density.sum()
+    if total_ues is not None and current > 0:
+        density = density * (float(total_ues) / current)
+    return density

@@ -1,0 +1,248 @@
+"""The per-sector, per-tilt path-loss database (Atoll stand-in).
+
+The paper's model is driven by "one path-loss matrix (containing
+600 x 600 path loss values, in dB) per antenna tilt configuration" per
+sector (Section 4.2).  :class:`PathLossDatabase` is that artifact: it
+answers ``L_b(T_b, g)`` for every sector ``b``, tilt ``T_b`` and grid
+``g`` over a shared analysis raster, and supports the two tilt models
+the paper discusses:
+
+``exact``
+    One faithful matrix per (sector, tilt): the vertical antenna
+    pattern is re-evaluated against the sector's own elevation-angle
+    raster (the paper's "conceptually, we can compute path loss models
+    for each sector for all possible tilt settings").
+
+``shared-delta``
+    The paper's computational shortcut: "the change to a path-loss
+    matrix caused by a specific uptilt or downtilt is the same across
+    all sectors", realized as a radial change profile sampled by
+    distance from each sector.
+
+Per-sector correlated shadowing makes the matrices irregular the way
+operational Atoll rasters are (paper Figure 3), while remaining
+deterministic for a given seed so the whole evaluation is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Sequence
+
+import numpy as np
+
+from .fields import correlated_gaussian_field
+from .geometry import GridSpec
+from .network import CellularNetwork, Sector
+from .propagation import Environment, PropagationModel, SPMParameters, Transmitter
+
+__all__ = ["PathLossDatabase", "TiltModelName"]
+
+TiltModelName = Literal["exact", "shared-delta"]
+
+#: Default shadowing statistics (urban macro, Gudmundson).
+DEFAULT_SHADOWING_SIGMA_DB = 6.0
+DEFAULT_SHADOWING_CORR_M = 150.0
+
+
+@dataclass
+class _SectorRaster:
+    """Cached per-sector geometry needed to re-evaluate tilts quickly."""
+
+    horiz_att_db: np.ndarray     # horizontal pattern attenuation (>= 0)
+    theta_deg: np.ndarray        # depression angle toward each grid
+    loss_db: np.ndarray          # SPM + clutter + diffraction + shadowing (>= 0)
+    distance_m: np.ndarray       # to each grid center
+    bearing_deg: np.ndarray      # compass bearing to each grid center
+
+
+class PathLossDatabase:
+    """Path gain ``L_b(T_b, g)`` for all sectors over one raster.
+
+    Build with :meth:`from_environment`; query with :meth:`gain_matrix`
+    (one sector) or :meth:`gain_tensor` (all sectors, vectorized — the
+    hot path of the analysis engine).
+
+    Values follow the paper's sign convention: **negative dB**, added to
+    the transmit power to obtain received power (Formula 1).
+    """
+
+    def __init__(self, grid: GridSpec, network: CellularNetwork,
+                 rasters: Sequence[_SectorRaster],
+                 tilt_model: TiltModelName = "exact") -> None:
+        if len(rasters) != network.n_sectors:
+            raise ValueError("one raster per sector required")
+        if tilt_model not in ("exact", "shared-delta"):
+            raise ValueError(f"unknown tilt model {tilt_model!r}")
+        self.grid = grid
+        self.network = network
+        self.tilt_model: TiltModelName = tilt_model
+        self._rasters = list(rasters)
+        self._tensor_cache: Dict[bytes, np.ndarray] = {}
+        self._shared_profiles: Dict[float, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_environment(cls, network: CellularNetwork,
+                         environment: Environment,
+                         spm: Optional[SPMParameters] = None,
+                         shadowing_sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB,
+                         shadowing_corr_m: float = DEFAULT_SHADOWING_CORR_M,
+                         seed: int = 0,
+                         tilt_model: TiltModelName = "exact") -> "PathLossDatabase":
+        """Compute the database from terrain the way Atoll would.
+
+        Each sector receives its own correlated shadowing field (keyed
+        off ``seed`` and the sector id) on top of any environment-level
+        field, so different sectors see *different* irregular fades at
+        the same grid — exactly the property that defeats closed-form
+        path-loss assumptions.
+        """
+        grid = environment.grid
+        model = PropagationModel(environment, spm=spm)
+        corr_cells = shadowing_corr_m / grid.cell_size
+        rasters = []
+        for sector in network.sectors:
+            tx = _transmitter_of(sector)
+            dist = grid.distances_from(sector.x, sector.y)
+            bearings = grid.bearings_from(sector.x, sector.y)
+            phi = bearings - sector.azimuth_deg
+            horiz = sector.antenna.horizontal_attenuation(phi)
+            # Depression angle toward each grid, terrain-aware.
+            tx_ground = _terrain_at(environment, sector.x, sector.y)
+            dz = (tx_ground + sector.height_m) - \
+                (environment.terrain_m + model.ue_height_m)
+            theta = np.degrees(np.arctan2(dz, np.maximum(dist, 1.0)))
+            # Non-antenna losses: SPM + clutter + diffraction + shadowing.
+            h_eff = np.maximum(
+                tx_ground + sector.height_m - environment.terrain_m, 1.0)
+            loss = model.spm.basic_loss_db(dist, h_eff, model.ue_height_m)
+            loss = loss + environment.clutter_loss_db()
+            loss = loss + model._diffraction_loss_db(tx)
+            if environment.shadowing_db is not None:
+                loss = loss + environment.shadowing_db
+            rng = np.random.default_rng(
+                np.random.SeedSequence([seed, sector.sector_id]))
+            loss = loss + correlated_gaussian_field(
+                grid.shape, corr_cells, shadowing_sigma_db, rng)
+            rasters.append(_SectorRaster(
+                horiz_att_db=horiz, theta_deg=theta,
+                loss_db=loss, distance_m=dist, bearing_deg=bearings))
+        return cls(grid, network, rasters, tilt_model=tilt_model)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def gain_matrix(self, sector_id: int, tilt_deg: float,
+                    azimuth_offset_deg: float = 0.0) -> np.ndarray:
+        """``L_b(tilt, g)`` (negative dB) for one sector at one tilt.
+
+        ``azimuth_offset_deg`` rotates the horizontal pattern relative
+        to the planned azimuth (the azimuth-tuning extension).
+        """
+        sector = self.network.sector(sector_id)
+        raster = self._rasters[sector_id]
+        if self.tilt_model == "exact":
+            return self._exact_gain(sector, raster, tilt_deg,
+                                    azimuth_offset_deg)
+        base = self._exact_gain(sector, raster, sector.planned_tilt_deg,
+                                azimuth_offset_deg)
+        delta = self._shared_delta(sector, raster, tilt_deg)
+        return base + delta
+
+    def gain_tensor(self, tilts: np.ndarray,
+                    azimuth_offsets: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+        """Stack of gain matrices, shape ``(n_sectors, rows, cols)``.
+
+        ``tilts`` gives each sector's tilt (and ``azimuth_offsets``,
+        when given, each sector's pattern rotation); results are cached
+        per parameter vector since the search algorithms re-evaluate
+        many power-only changes against the same assignment.
+        """
+        tilts = np.asarray(tilts, dtype=float)
+        if tilts.shape != (self.network.n_sectors,):
+            raise ValueError("need one tilt per sector")
+        if azimuth_offsets is None:
+            offsets = np.zeros(self.network.n_sectors)
+        else:
+            offsets = np.asarray(azimuth_offsets, dtype=float)
+            if offsets.shape != (self.network.n_sectors,):
+                raise ValueError("need one azimuth offset per sector")
+        key = tilts.tobytes() + offsets.tobytes()
+        cached = self._tensor_cache.get(key)
+        if cached is None:
+            cached = np.stack([self.gain_matrix(i, t, o)
+                               for i, (t, o)
+                               in enumerate(zip(tilts, offsets))])
+            if len(self._tensor_cache) > 8:
+                self._tensor_cache.clear()
+            self._tensor_cache[key] = cached
+        return cached
+
+    def distance_matrix(self, sector_id: int) -> np.ndarray:
+        """Distance (m) from the sector to each grid center."""
+        return self._rasters[sector_id].distance_m
+
+    # ------------------------------------------------------------------
+    # tilt models
+    # ------------------------------------------------------------------
+    def _exact_gain(self, sector: Sector, raster: _SectorRaster,
+                    tilt_deg: float,
+                    azimuth_offset_deg: float = 0.0) -> np.ndarray:
+        ant = sector.antenna
+        if azimuth_offset_deg == 0.0:
+            horiz = raster.horiz_att_db
+        else:
+            phi = raster.bearing_deg - (sector.azimuth_deg
+                                        + azimuth_offset_deg)
+            horiz = ant.horizontal_attenuation(phi)
+        vert = ant.vertical_attenuation(raster.theta_deg, tilt_deg)
+        att = np.minimum(horiz + vert, ant.front_back_db)
+        return ant.gain_dbi - att - raster.loss_db
+
+    def _shared_delta(self, sector: Sector, raster: _SectorRaster,
+                      tilt_deg: float) -> np.ndarray:
+        """The paper's one-change-matrix-per-tilt approximation.
+
+        A radial gain-change profile is computed once per target tilt
+        from a canonical flat-earth sector, then sampled by each grid's
+        distance from the (actual) sector.
+        """
+        profile = self._shared_profiles.get(tilt_deg)
+        if profile is None:
+            profile = self._build_shared_profile(tilt_deg)
+            self._shared_profiles[tilt_deg] = profile
+        idx = np.clip((raster.distance_m / _PROFILE_STEP_M).astype(int),
+                      0, len(profile) - 1)
+        return profile[idx]
+
+    def _build_shared_profile(self, tilt_deg: float) -> np.ndarray:
+        ref = self.network.sector(0)
+        distances = np.arange(len_profile := _PROFILE_BINS) * _PROFILE_STEP_M
+        distances = np.maximum(distances, 1.0)
+        theta = np.degrees(np.arctan2(ref.height_m - 1.5, distances))
+        ant = ref.antenna
+        before = ant.vertical_attenuation(theta, ref.planned_tilt_deg)
+        after = ant.vertical_attenuation(theta, tilt_deg)
+        return before - after
+
+
+_PROFILE_STEP_M = 50.0
+_PROFILE_BINS = 2400  # 120 km of radial profile — covers any raster
+
+
+def _transmitter_of(sector: Sector) -> Transmitter:
+    return Transmitter(x=sector.x, y=sector.y, height_m=sector.height_m,
+                       azimuth_deg=sector.azimuth_deg,
+                       antenna=sector.antenna)
+
+
+def _terrain_at(environment: Environment, x: float, y: float) -> float:
+    grid = environment.grid
+    if grid.region.contains(x, y):
+        row, col = grid.cell_of(x, y)
+        return float(environment.terrain_m[row, col])
+    return 0.0

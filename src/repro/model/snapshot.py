@@ -1,0 +1,107 @@
+"""Grid- and sector-level snapshots of a configured network.
+
+The paper's workflow (Figure 6): "for a given scenario, Magus computes
+all grid level information: best sector, corresponding signal RP, the
+interference, SINR, and the number of UEs it contains; and sector level
+information: a list of serving grids, and the total number of served
+UEs."  :class:`NetworkState` is exactly that bundle, produced by the
+analysis engine for one :class:`~repro.model.network.Configuration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .geometry import GridSpec
+from .network import Configuration
+
+__all__ = ["NetworkState", "NO_SERVICE"]
+
+#: Sentinel in the serving map for grids no active sector covers.
+NO_SERVICE = -1
+
+
+@dataclass(frozen=True)
+class NetworkState:
+    """Everything the evaluation needs about one configuration.
+
+    All arrays share the analysis raster's shape.  ``ue_density`` is
+    the *fixed* per-grid UE population (UEs do not move when sectors
+    are re-tuned; only their serving sector changes), while ``n_ue``
+    is the paper's ``N(g)``: the population served by grid ``g``'s
+    sector under *this* configuration.
+    """
+
+    grid: GridSpec
+    config: Configuration
+    serving: np.ndarray          # int sector id per grid, NO_SERVICE if none
+    rp_best_dbm: np.ndarray      # best received power per grid
+    interference_dbm: np.ndarray  # total non-serving received power
+    sinr_db: np.ndarray          # Formula 2 per grid (-inf where no service)
+    max_rate_bps: np.ndarray     # rmax(g): single-user rate
+    n_ue: np.ndarray             # N(g): UEs sharing the serving sector
+    rate_bps: np.ndarray         # r(g) = rmax(g) / N(g) (Formula 4)
+    ue_density: np.ndarray       # UE(g): population per grid
+
+    # -- coverage -------------------------------------------------------
+    def covered_mask(self) -> np.ndarray:
+        """Grids receiving service (``rmax > 0``)."""
+        return self.max_rate_bps > 0.0
+
+    def out_of_service_mask(self) -> np.ndarray:
+        """The paper's coverage holes (black pixels of Figure 4)."""
+        return ~self.covered_mask()
+
+    def covered_ue_count(self) -> float:
+        """Total UEs with non-zero rate."""
+        return float(self.ue_density[self.covered_mask()].sum())
+
+    def total_ue_count(self) -> float:
+        return float(self.ue_density.sum())
+
+    # -- sector-level views ----------------------------------------------
+    def served_grid_count(self, sector_id: int) -> int:
+        """How many grids this sector serves."""
+        return int((self.serving == sector_id).sum())
+
+    def served_ue_count(self, sector_id: int) -> float:
+        """Total UE population attached to this sector."""
+        return float(self.ue_density[self.serving == sector_id].sum())
+
+    def sector_loads(self) -> Dict[int, float]:
+        """Served UEs per active sector (the capacity-sharing loads)."""
+        return {sid: self.served_ue_count(sid)
+                for sid in self.config.active_sector_ids()}
+
+    # -- per-grid degradation sets (Algorithm 1 input) --------------------
+    def degraded_grids(self, baseline: "NetworkState") -> np.ndarray:
+        """Mask of grids whose rate dropped versus ``baseline``.
+
+        This is the paper's affected-grid set ``G``: "all the grids
+        whose rate performance is degraded as a result of taking down
+        one or more sectors".  A tolerance absorbs floating-point noise.
+        """
+        return self.rate_bps < baseline.rate_bps * (1.0 - 1e-9) - 1e-9
+
+    # -- summaries --------------------------------------------------------
+    def mean_rate_bps(self) -> float:
+        """UE-weighted mean downlink rate."""
+        total_ue = self.total_ue_count()
+        if total_ue == 0:
+            return 0.0
+        return float((self.rate_bps * self.ue_density).sum() / total_ue)
+
+    def describe(self) -> List[str]:
+        """Terse human-readable summary lines (for CLI/report output)."""
+        n_active = len(self.config.active_sector_ids())
+        covered = self.covered_mask().mean() * 100.0
+        return [
+            f"sectors active: {n_active}/{self.config.n_sectors}",
+            f"grids covered: {covered:.1f}%",
+            f"UEs covered: {self.covered_ue_count():.0f}"
+            f"/{self.total_ue_count():.0f}",
+            f"mean UE rate: {self.mean_rate_bps() / 1e6:.2f} Mb/s",
+        ]

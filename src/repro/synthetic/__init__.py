@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's operational data feeds.
+
+Everything here is deterministic in a master seed (see :mod:`.rng`),
+so a whole market — terrain, clutter, site placement, shadowing, UE
+loads, upgrade tickets — reproduces bit-for-bit.
+"""
+
+from .calendar import (RadioTechnology, UpgradeCalendarGenerator,
+                       UpgradeTicket, duration_stats, weekday_histogram)
+from .market import (AreaDimensions, Market, MARKET_NAMES, StudyArea,
+                     build_area, build_market)
+from .placement import AreaType, PlacementParameters, build_network, place_sites
+from .rng import stream, substream
+from .smallcells import add_small_cells, small_cell_antenna
+from .terrain import (TerrainParameters, generate_clutter,
+                      generate_environment, generate_terrain)
+from .users import MEAN_UES_PER_SECTOR, population_field, sector_ue_counts
+
+__all__ = [
+    "RadioTechnology", "UpgradeCalendarGenerator", "UpgradeTicket",
+    "duration_stats", "weekday_histogram",
+    "AreaDimensions", "Market", "MARKET_NAMES", "StudyArea",
+    "build_area", "build_market",
+    "AreaType", "PlacementParameters", "build_network", "place_sites",
+    "stream", "substream",
+    "add_small_cells", "small_cell_antenna",
+    "TerrainParameters", "generate_clutter", "generate_environment",
+    "generate_terrain",
+    "MEAN_UES_PER_SECTOR", "population_field", "sector_ue_counts",
+]

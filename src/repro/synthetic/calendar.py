@@ -1,0 +1,172 @@
+"""Synthetic planned-upgrade ticket stream (paper Section 1 motivation).
+
+The paper analyzed "one year's worth of data on planned upgrades from a
+large cellular network in North America" and reports three aggregate
+facts that motivate Magus:
+
+* planned upgrades occur **every day of the year**;
+* they are **more than twice as likely on Tuesdays through Fridays**
+  than on other days;
+* they **typically last 4-6 hours** and impact all radio access
+  technologies (LTE, UMTS, GSM).
+
+:class:`UpgradeCalendarGenerator` produces a ticket stream with those
+properties so the motivation statistics can be regenerated
+(``benchmarks/bench_calendar_stats.py``), and so the end-to-end
+mitigation pipeline has realistic upgrade windows to schedule around.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .rng import stream
+
+__all__ = ["RadioTechnology", "UpgradeTicket", "UpgradeCalendarGenerator",
+           "weekday_histogram", "duration_stats"]
+
+
+class RadioTechnology(enum.Enum):
+    LTE = "LTE"
+    UMTS = "UMTS"
+    GSM = "GSM"
+
+
+@dataclass(frozen=True)
+class UpgradeTicket:
+    """One planned-maintenance window for a base station."""
+
+    ticket_id: int
+    site_id: int
+    start: dt.datetime
+    duration_hours: float
+    technologies: tuple
+    reason: str
+
+    @property
+    def end(self) -> dt.datetime:
+        return self.start + dt.timedelta(hours=self.duration_hours)
+
+    def overlaps_busy_hours(self, busy_start_hour: int = 8,
+                            busy_end_hour: int = 20) -> bool:
+        """Whether any part of the window falls in business hours.
+
+        These are the upgrades Magus targets: scheduled off-peak work
+        that "spills over into the busy hours", or work that must run
+        during the day.
+        """
+        t = self.start
+        end = self.end
+        while t < end:
+            if busy_start_hour <= t.hour < busy_end_hour:
+                return True
+            t += dt.timedelta(hours=1)
+        return False
+
+
+#: Relative likelihood per weekday (Mon..Sun).  Tue-Fri are > 2x the
+#: others, matching the paper's observation.
+_WEEKDAY_WEIGHTS = np.asarray([1.0, 2.4, 2.5, 2.5, 2.3, 0.9, 0.8])
+
+_REASONS = ("software release", "hardware replacement",
+            "configuration change", "equipment re-home",
+            "power plant work")
+
+
+class UpgradeCalendarGenerator:
+    """Draws a year of tickets with the paper's aggregate shape."""
+
+    def __init__(self, n_sites: int = 500, seed: int = 0,
+                 year: int = 2015,
+                 mean_tickets_per_day: float = 12.0) -> None:
+        if n_sites <= 0:
+            raise ValueError("need at least one site")
+        if mean_tickets_per_day <= 0:
+            raise ValueError("mean_tickets_per_day must be positive")
+        self.n_sites = n_sites
+        self.seed = seed
+        self.year = year
+        self.mean_tickets_per_day = mean_tickets_per_day
+
+    def generate(self) -> List[UpgradeTicket]:
+        """The full year's ticket list, ordered by start time.
+
+        Daily counts are Poisson with a weekday-dependent mean, floored
+        at 1 so "planned upgrades occur every day of the year" holds;
+        durations are uniform in [4, 6] hours with a light tail beyond
+        (some "take longer than expected"); start hours favor the
+        overnight window but include daytime work.
+        """
+        rng = stream(self.seed, "calendar")
+        tickets: List[UpgradeTicket] = []
+        day = dt.date(self.year, 1, 1)
+        end_day = dt.date(self.year, 12, 31)
+        weights = _WEEKDAY_WEIGHTS / _WEEKDAY_WEIGHTS.mean()
+        ticket_id = 0
+        while day <= end_day:
+            lam = self.mean_tickets_per_day * weights[day.weekday()]
+            count = max(1, int(rng.poisson(lam)))
+            for _ in range(count):
+                start_hour = self._draw_start_hour(rng)
+                duration = self._draw_duration(rng)
+                start = dt.datetime(day.year, day.month, day.day,
+                                    start_hour,
+                                    int(rng.integers(0, 60)))
+                tech = self._draw_technologies(rng)
+                tickets.append(UpgradeTicket(
+                    ticket_id=ticket_id,
+                    site_id=int(rng.integers(0, self.n_sites)),
+                    start=start, duration_hours=duration,
+                    technologies=tech,
+                    reason=str(rng.choice(_REASONS))))
+                ticket_id += 1
+            day += dt.timedelta(days=1)
+        tickets.sort(key=lambda t: t.start)
+        return tickets
+
+    @staticmethod
+    def _draw_start_hour(rng: np.random.Generator) -> int:
+        # Two regimes: preferred overnight windows and unavoidable
+        # daytime work (vendor availability, 24/7 venues).
+        if rng.random() < 0.65:
+            return int(rng.integers(0, 6))       # 00:00-05:59
+        return int(rng.integers(6, 22))
+
+    @staticmethod
+    def _draw_duration(rng: np.random.Generator) -> float:
+        base = rng.uniform(4.0, 6.0)
+        if rng.random() < 0.12:                  # overruns
+            base += rng.exponential(2.0)
+        return float(min(base, 14.0))
+
+    @staticmethod
+    def _draw_technologies(rng: np.random.Generator) -> tuple:
+        # Hardware-level work "impacts all radio access technologies".
+        if rng.random() < 0.7:
+            return tuple(RadioTechnology)
+        return (RadioTechnology.LTE,)
+
+
+def weekday_histogram(tickets: Sequence[UpgradeTicket]) -> Dict[str, int]:
+    """Ticket counts per weekday name (Mon..Sun)."""
+    names = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"]
+    out = {n: 0 for n in names}
+    for t in tickets:
+        out[names[t.start.weekday()]] += 1
+    return out
+
+
+def duration_stats(tickets: Sequence[UpgradeTicket]) -> Dict[str, float]:
+    """Duration summary: median and the 4-6 h band occupancy."""
+    durations = np.asarray([t.duration_hours for t in tickets])
+    in_band = ((durations >= 4.0) & (durations <= 6.0)).mean()
+    return {
+        "median_hours": float(np.median(durations)),
+        "mean_hours": float(durations.mean()),
+        "fraction_4_to_6h": float(in_band),
+    }

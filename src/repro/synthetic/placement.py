@@ -1,0 +1,144 @@
+"""Tri-sector macro-site placement per area type (paper Figure 8).
+
+Operators deploy macro sites on an approximately hexagonal lattice
+whose inter-site distance (ISD) tracks demand: dense urban cores pack
+sites a few hundred meters apart, rural land several kilometers.  The
+paper's three area types differ exactly in this density (average
+interferer counts ~26 rural / ~55 suburban / ~178 urban).
+
+:func:`place_sites` jitters a hex lattice inside a region;
+:func:`build_network` expands sites into the standard 3-sector
+configuration (azimuths 120 degrees apart with per-site rotation) with
+area-appropriate power/tilt/mast defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..model.antenna import AntennaPattern, TiltRange
+from ..model.geometry import Region
+from ..model.network import CellularNetwork, Sector, SECTORS_PER_SITE
+from .rng import stream
+
+__all__ = ["AreaType", "PlacementParameters", "place_sites", "build_network"]
+
+
+class AreaType(enum.Enum):
+    """The paper's three density regimes."""
+
+    RURAL = "rural"
+    SUBURBAN = "suburban"
+    URBAN = "urban"
+
+
+@dataclass(frozen=True)
+class PlacementParameters:
+    """Deployment defaults per area type.
+
+    ``isd_m`` is the hex inter-site distance; ``jitter_fraction`` the
+    positional noise (real deployments are constrained by real estate);
+    the radio defaults track how operators engineer each regime (tall
+    high-power rural masts vs short down-tilted urban ones).
+    """
+
+    isd_m: float
+    jitter_fraction: float
+    mast_height_m: float
+    power_dbm: float
+    max_power_dbm: float
+    normal_tilt_deg: float
+
+    @classmethod
+    def for_area(cls, area: AreaType) -> "PlacementParameters":
+        """Calibrated to reproduce the paper's three regimes.
+
+        Rural cells are huge and run flush against their power budget
+        (the paper: "the maximum transmission power limit becomes a
+        constraint"), so neighbor tuning recovers little.  Dense urban
+        cells are interference-limited with almost no headroom.
+        Suburban sits in the sweet spot: neighbors can reach the
+        affected grids and still have budget to spend.
+        """
+        if area is AreaType.RURAL:
+            return cls(isd_m=6_000.0, jitter_fraction=0.18,
+                       mast_height_m=45.0, power_dbm=46.0,
+                       max_power_dbm=47.0, normal_tilt_deg=2.0)
+        if area is AreaType.SUBURBAN:
+            return cls(isd_m=1_600.0, jitter_fraction=0.15,
+                       mast_height_m=30.0, power_dbm=43.0,
+                       max_power_dbm=46.0, normal_tilt_deg=6.0)
+        return cls(isd_m=550.0, jitter_fraction=0.12,
+                   mast_height_m=25.0, power_dbm=40.0,
+                   max_power_dbm=41.0, normal_tilt_deg=8.0)
+
+
+def place_sites(region: Region, params: PlacementParameters,
+                seed: int) -> List[Tuple[float, float]]:
+    """Jittered hexagonal site locations covering ``region``.
+
+    Rows are offset by half the ISD (hex packing); jitter is uniform
+    within ``jitter_fraction * isd``.  Sites are kept strictly inside
+    the region so sectors never sit on the raster edge.
+    """
+    rng = stream(seed, "placement")
+    isd = params.isd_m
+    row_step = isd * math.sqrt(3.0) / 2.0
+    jitter = params.jitter_fraction * isd
+    sites: List[Tuple[float, float]] = []
+    row = 0
+    y = region.y0 + row_step / 2.0
+    while y < region.y1:
+        x_offset = (isd / 2.0) if (row % 2) else 0.0
+        x = region.x0 + isd / 2.0 + x_offset
+        while x < region.x1:
+            px = x + rng.uniform(-jitter, jitter)
+            py = y + rng.uniform(-jitter, jitter)
+            margin = min(isd * 0.1, 50.0)
+            px = float(np.clip(px, region.x0 + margin, region.x1 - margin))
+            py = float(np.clip(py, region.y0 + margin, region.y1 - margin))
+            sites.append((px, py))
+            x += isd
+        y += row_step
+        row += 1
+    return sites
+
+
+def build_network(region: Region, area: AreaType, seed: int = 0,
+                  params: PlacementParameters | None = None,
+                  antenna: AntennaPattern | None = None) -> CellularNetwork:
+    """A tri-sector :class:`CellularNetwork` for one area type.
+
+    Each site's three sectors share the mast; azimuths are the standard
+    0/120/240 pattern plus a per-site rotation (operators stagger
+    orientations to reduce alignment interference).
+    """
+    params = params or PlacementParameters.for_area(area)
+    antenna = antenna or AntennaPattern()
+    rng = stream(seed, "azimuths")
+    sites = place_sites(region, params, seed)
+    if not sites:
+        raise ValueError(f"region {region} too small for ISD {params.isd_m}")
+    tilt_range = TiltRange(normal_deg=params.normal_tilt_deg,
+                           min_deg=0.0,
+                           max_deg=params.normal_tilt_deg + 4.0,
+                           step_deg=0.5)
+    sectors: List[Sector] = []
+    for site_id, (x, y) in enumerate(sites):
+        rotation = rng.uniform(0.0, 120.0)
+        for k in range(SECTORS_PER_SITE):
+            sectors.append(Sector(
+                sector_id=len(sectors), site_id=site_id, x=x, y=y,
+                azimuth_deg=(rotation + 120.0 * k) % 360.0,
+                height_m=params.mast_height_m,
+                power_dbm=params.power_dbm,
+                max_power_dbm=params.max_power_dbm,
+                min_power_dbm=10.0,
+                antenna=antenna,
+                tilt_range=tilt_range))
+    return CellularNetwork(sectors)

@@ -1,0 +1,80 @@
+"""Small-cell underlays (paper Section 1: "the principles underlying
+Magus apply to ... small cells").
+
+Small cells slot into the existing model with zero special-casing:
+they are just sectors with omni antennas, low masts and low power.
+:func:`add_small_cells` extends a macro network with a small-cell
+layer placed at hotspot locations — after which every Magus facility
+(planning, mitigation, gradual migration) works over the combined
+HetNet unchanged, including using small cells as mitigation capacity
+when a macro sector is upgraded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.antenna import AntennaPattern, TiltRange
+from ..model.geometry import Region
+from ..model.network import CellularNetwork, Sector
+from .rng import stream
+
+__all__ = ["small_cell_antenna", "add_small_cells"]
+
+
+def small_cell_antenna() -> AntennaPattern:
+    """An omnidirectional small-cell antenna.
+
+    ``front_back_db=0`` collapses the horizontal pattern to omni;
+    the wide vertical beam reflects the short mast.
+    """
+    return AntennaPattern(gain_dbi=5.0, horiz_beamwidth=360.0,
+                          vert_beamwidth=40.0, front_back_db=0.0,
+                          sla_db=12.0)
+
+
+def add_small_cells(network: CellularNetwork, region: Region,
+                    n_cells: int, seed: int = 0,
+                    power_dbm: float = 30.0,
+                    max_power_dbm: float = 33.0,
+                    height_m: float = 10.0,
+                    hotspots: Optional[Sequence[Tuple[float, float]]] = None
+                    ) -> CellularNetwork:
+    """A new network with ``n_cells`` small cells appended.
+
+    Small cells land at ``hotspots`` if given (e.g. from the population
+    field), else uniformly inside ``region``.  Each gets its own site
+    (no co-siting with macros) and fresh sequential sector ids, so the
+    original macro ids are preserved — existing target selections stay
+    valid on the extended network.
+    """
+    if n_cells <= 0:
+        raise ValueError("need at least one small cell")
+    rng = stream(seed, "small-cells")
+    if hotspots is not None:
+        if len(hotspots) < n_cells:
+            raise ValueError("fewer hotspots than requested cells")
+        positions = list(hotspots)[:n_cells]
+    else:
+        positions = [(float(rng.uniform(region.x0, region.x1)),
+                      float(rng.uniform(region.y0, region.y1)))
+                     for _ in range(n_cells)]
+
+    next_site = max(s.site_id for s in network.sectors) + 1
+    next_sector = network.n_sectors
+    antenna = small_cell_antenna()
+    tilt_range = TiltRange(normal_deg=0.0, min_deg=0.0, max_deg=4.0,
+                           step_deg=1.0)
+    extended: List[Sector] = list(network.sectors)
+    for k, (x, y) in enumerate(positions):
+        extended.append(Sector(
+            sector_id=next_sector + k,
+            site_id=next_site + k,
+            x=x, y=y, azimuth_deg=0.0,
+            height_m=height_m,
+            power_dbm=power_dbm,
+            max_power_dbm=max_power_dbm,
+            min_power_dbm=5.0,
+            antenna=antenna,
+            tilt_range=tilt_range))
+    return CellularNetwork(extended)

@@ -1,0 +1,23 @@
+"""The Section-3 LTE testbed emulation: small cells, UEs, EPC, traffic."""
+
+from .channel import AttenuatorSpec, IndoorChannel
+from .enodeb import ENodeB
+from .epc import (Bearer, DEFAULT_QCI, EcmState, EmmState, EpcError,
+                  EvolvedPacketCore, UeContext)
+from .experiment import Fig2Result, run_upgrade_experiment
+from .testbed import (LTETestbed, UpgradeTimeline, build_full_testbed,
+                      build_scenario_one, build_scenario_two)
+from .traffic import TcpModel, run_downlink_sessions
+from .ue import UserEquipment
+
+__all__ = [
+    "AttenuatorSpec", "IndoorChannel",
+    "ENodeB",
+    "Bearer", "DEFAULT_QCI", "EcmState", "EmmState", "EpcError",
+    "EvolvedPacketCore", "UeContext",
+    "Fig2Result", "run_upgrade_experiment",
+    "LTETestbed", "UpgradeTimeline", "build_full_testbed",
+    "build_scenario_one", "build_scenario_two",
+    "TcpModel", "run_downlink_sessions",
+    "UserEquipment",
+]

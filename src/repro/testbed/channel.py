@@ -1,0 +1,87 @@
+"""Indoor radio channel and attenuator semantics of the LTE testbed.
+
+The paper's testbed (Section 3.1) runs on one office floor: Cavium
+small cells with omni antennas on band 7 (downlink 2635 MHz), transmit
+power up to 125 mW, tuned through a software attenuator whose level
+``L`` runs from 30 (maximum attenuation, minimum power) down to 1, in
+steps of 1.
+
+Propagation uses the standard indoor log-distance model with a
+wall-count term — the usual choice for single-floor enterprise
+deployments — plus deterministic per-link fading drawn from the seed so
+experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AttenuatorSpec", "IndoorChannel"]
+
+
+@dataclass(frozen=True)
+class AttenuatorSpec:
+    """The Cavium software attenuator: L in [1, 30], 1 dB per unit."""
+
+    max_power_dbm: float = 21.0      # 125 mW
+    min_level: int = 1               # minimum attenuation = maximum power
+    max_level: int = 30
+    db_per_unit: float = 1.0
+
+    def power_dbm(self, level: int) -> float:
+        """Transmit power at attenuation level ``level``."""
+        self.validate(level)
+        return self.max_power_dbm - (level - self.min_level) * self.db_per_unit
+
+    def validate(self, level: int) -> None:
+        if not (self.min_level <= level <= self.max_level):
+            raise ValueError(
+                f"attenuation level {level} outside "
+                f"[{self.min_level}, {self.max_level}]")
+
+    @property
+    def levels(self) -> range:
+        """All valid attenuation levels, max power first."""
+        return range(self.min_level, self.max_level + 1)
+
+
+class IndoorChannel:
+    """Log-distance indoor path loss with per-link shadowing.
+
+    ``PL(d) = PL0 + 10 n log10(d / 1 m) + X_link`` where ``PL0`` is the
+    1 m free-space loss at 2.6 GHz (~40.8 dB), ``n`` the indoor decay
+    exponent, and ``X_link`` a deterministic per-(eNodeB, UE) shadowing
+    draw standing in for walls and furniture.
+    """
+
+    def __init__(self, path_loss_exponent: float = 3.0,
+                 reference_loss_db: float = 40.8,
+                 shadowing_sigma_db: float = 4.0,
+                 seed: int = 0) -> None:
+        if path_loss_exponent <= 0:
+            raise ValueError("path loss exponent must be positive")
+        self.path_loss_exponent = path_loss_exponent
+        self.reference_loss_db = reference_loss_db
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.seed = seed
+
+    def path_loss_db(self, enb_id: int, enb_xy, ue_id: int, ue_xy) -> float:
+        """Positive path loss (dB) for one eNodeB-UE link."""
+        d = max(math.dist(enb_xy, ue_xy), 0.5)
+        loss = (self.reference_loss_db
+                + 10.0 * self.path_loss_exponent * math.log10(d))
+        return loss + self._shadowing(enb_id, ue_id)
+
+    def received_power_dbm(self, tx_power_dbm: float, enb_id: int,
+                           enb_xy, ue_id: int, ue_xy) -> float:
+        return tx_power_dbm - self.path_loss_db(enb_id, enb_xy, ue_id, ue_xy)
+
+    def _shadowing(self, enb_id: int, ue_id: int) -> float:
+        if self.shadowing_sigma_db == 0:
+            return 0.0
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, enb_id, ue_id]))
+        return float(rng.normal(0.0, self.shadowing_sigma_db))

@@ -1,0 +1,54 @@
+"""The testbed eNodeB: a band-7 small cell behind a software attenuator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .channel import AttenuatorSpec
+
+__all__ = ["ENodeB"]
+
+
+@dataclass
+class ENodeB:
+    """One Cavium-style LTE small cell.
+
+    Power is tuned exclusively through the attenuation level ``L``
+    (paper: L=30 minimum power .. L=1 maximum power); ``offline``
+    models the planned-upgrade state in which the cell neither serves
+    nor interferes.
+    """
+
+    enb_id: int
+    x: float
+    y: float
+    attenuation: int = 30            # boot at minimum power
+    offline: bool = False
+    attenuator: AttenuatorSpec = field(default_factory=AttenuatorSpec)
+
+    def __post_init__(self) -> None:
+        self.attenuator.validate(self.attenuation)
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    @property
+    def tx_power_dbm(self) -> float:
+        """Radiated power; None-like -inf when off-air."""
+        if self.offline:
+            return float("-inf")
+        return self.attenuator.power_dbm(self.attenuation)
+
+    def set_attenuation(self, level: int) -> None:
+        """Retune the software attenuator (validates the level)."""
+        self.attenuator.validate(level)
+        self.attenuation = level
+
+    def take_offline(self) -> None:
+        """The planned-upgrade action: stop radiating entirely."""
+        self.offline = True
+
+    def bring_online(self) -> None:
+        self.offline = False

@@ -1,0 +1,164 @@
+"""A miniature Evolved Packet Core (the testbed's Aricent EPC stand-in).
+
+The paper's testbed runs a full EPC "includ[ing] MME, SGW, PGW, HSS and
+PCRF elements" with the APN configured to "always set up bearers with
+QCI=9 for all UEs" (best effort).  This module models the pieces of
+that control plane the experiments exercise:
+
+* **HSS** — the subscriber database consulted at attach;
+* **PCRF** — the policy function that stamps the default bearer's QCI;
+* **SGW/PGW** — session anchors counting active bearers;
+* **MME** — UE contexts with EMM/ECM state machines, the attach and
+  detach procedures, and both handover flavors: X2 (seamless, source
+  cell still on-air) and S1 re-attach (hard, source cell gone).
+
+Signaling message counts are tallied per procedure so the synchronized
+-handover load argument of Section 6 can be quantified on the testbed
+too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["EmmState", "EcmState", "Bearer", "UeContext",
+           "EpcError", "EvolvedPacketCore", "DEFAULT_QCI"]
+
+#: The paper's APN policy: best-effort bearers for everyone.
+DEFAULT_QCI = 9
+
+#: Rough 3GPP message counts per procedure (attach: NAS+S6a+S11 legs;
+#: X2 handover is much lighter than an S1 re-attach).
+_SIGNALING_COST = {"attach": 10, "detach": 4,
+                   "x2_handover": 4, "s1_reattach": 12}
+
+
+class EmmState(enum.Enum):
+    DEREGISTERED = "EMM-DEREGISTERED"
+    REGISTERED = "EMM-REGISTERED"
+
+
+class EcmState(enum.Enum):
+    IDLE = "ECM-IDLE"
+    CONNECTED = "ECM-CONNECTED"
+
+
+class EpcError(RuntimeError):
+    """A control-plane procedure was rejected."""
+
+
+@dataclass
+class Bearer:
+    """An EPS bearer (the data-plane pipe for one UE)."""
+
+    bearer_id: int
+    qci: int = DEFAULT_QCI
+
+
+@dataclass
+class UeContext:
+    """MME-side state for one subscriber."""
+
+    imsi: str
+    emm: EmmState = EmmState.DEREGISTERED
+    ecm: EcmState = EcmState.IDLE
+    serving_enb: Optional[int] = None
+    bearers: List[Bearer] = field(default_factory=list)
+
+
+class EvolvedPacketCore:
+    """HSS + PCRF + MME + SGW/PGW in one process, like the testbed's."""
+
+    def __init__(self) -> None:
+        self._hss: Set[str] = set()
+        self._contexts: Dict[str, UeContext] = {}
+        self._next_bearer_id = 1
+        self.active_sessions = 0           # SGW/PGW view
+        self.signaling_messages: Dict[str, int] = {
+            k: 0 for k in _SIGNALING_COST}
+
+    # -- HSS ------------------------------------------------------------
+    def provision_subscriber(self, imsi: str) -> None:
+        """Add a SIM to the HSS (done once per UE dongle)."""
+        self._hss.add(imsi)
+
+    # -- attach / detach --------------------------------------------------
+    def attach(self, imsi: str, enb_id: int) -> UeContext:
+        """The initial attach procedure: HSS check, default bearer, ECM.
+
+        Raises :class:`EpcError` for unprovisioned IMSIs or double
+        attaches, as a real MME would NAS-reject them.
+        """
+        if imsi not in self._hss:
+            raise EpcError(f"IMSI {imsi} unknown to HSS")
+        ctx = self._contexts.get(imsi)
+        if ctx is not None and ctx.emm is EmmState.REGISTERED:
+            raise EpcError(f"IMSI {imsi} already attached")
+        ctx = UeContext(imsi=imsi, emm=EmmState.REGISTERED,
+                        ecm=EcmState.CONNECTED, serving_enb=enb_id)
+        ctx.bearers.append(self._new_default_bearer())
+        self._contexts[imsi] = ctx
+        self.active_sessions += 1
+        self._count("attach")
+        return ctx
+
+    def detach(self, imsi: str) -> None:
+        ctx = self._registered(imsi)
+        ctx.emm = EmmState.DEREGISTERED
+        ctx.ecm = EcmState.IDLE
+        ctx.serving_enb = None
+        ctx.bearers.clear()
+        self.active_sessions -= 1
+        self._count("detach")
+
+    # -- handover ---------------------------------------------------------
+    def x2_handover(self, imsi: str, target_enb: int) -> None:
+        """Seamless handover: source still on-air, contexts forwarded."""
+        ctx = self._registered(imsi)
+        if ctx.serving_enb is None:
+            raise EpcError(f"IMSI {imsi} has no serving cell")
+        ctx.serving_enb = target_enb
+        self._count("x2_handover")
+
+    def s1_reattach(self, imsi: str, target_enb: int) -> None:
+        """Hard handover: the serving cell vanished; rebuild the session."""
+        ctx = self._registered(imsi)
+        ctx.bearers.clear()
+        ctx.bearers.append(self._new_default_bearer())
+        ctx.serving_enb = target_enb
+        ctx.ecm = EcmState.CONNECTED
+        self._count("s1_reattach")
+
+    # -- introspection ------------------------------------------------------
+    def context(self, imsi: str) -> UeContext:
+        try:
+            return self._contexts[imsi]
+        except KeyError:
+            raise EpcError(f"no context for IMSI {imsi}") from None
+
+    def attached_to(self, enb_id: int) -> List[str]:
+        """IMSIs currently served by ``enb_id``."""
+        return [c.imsi for c in self._contexts.values()
+                if c.emm is EmmState.REGISTERED and c.serving_enb == enb_id]
+
+    def total_signaling_messages(self) -> int:
+        """Weighted control-plane load across all procedures so far."""
+        return sum(_SIGNALING_COST[k] * v
+                   for k, v in self.signaling_messages.items())
+
+    # -- internals ----------------------------------------------------------
+    def _registered(self, imsi: str) -> UeContext:
+        ctx = self.context(imsi)
+        if ctx.emm is not EmmState.REGISTERED:
+            raise EpcError(f"IMSI {imsi} is not attached")
+        return ctx
+
+    def _new_default_bearer(self) -> Bearer:
+        bearer = Bearer(bearer_id=self._next_bearer_id, qci=DEFAULT_QCI)
+        self._next_bearer_id += 1
+        return bearer
+
+    def _count(self, procedure: str) -> None:
+        self.signaling_messages[procedure] += 1

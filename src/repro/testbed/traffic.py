@@ -1,0 +1,78 @@
+"""iperf-style downlink TCP traffic over the emulated air interface.
+
+The paper's methodology: "we initiate simultaneous 30-sec downlink TCP
+traffic sessions from the application server towards each UE [and]
+measure the average downlink TCP throughput" with iperf.  The emulation
+computes each UE's PHY rate from its SINR via the LTE link-adaptation
+tables, shares the cell round-robin among its attached UEs, and applies
+the protocol overheads that separate iperf goodput from PHY throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..model.linkrate import LinkAdaptation
+
+__all__ = ["TcpModel", "run_downlink_sessions"]
+
+
+@dataclass(frozen=True)
+class TcpModel:
+    """Goodput model for a long-lived downlink TCP flow.
+
+    ``header_efficiency`` strips IP/TCP/PDCP framing from the PHY rate;
+    ``slow_start_penalty_s`` charges the ramp-up against the session
+    average (a 30 s iperf run loses roughly a second of full rate).
+    """
+
+    header_efficiency: float = 0.93
+    slow_start_penalty_s: float = 1.0
+    session_seconds: float = 30.0
+
+    def goodput_bps(self, phy_rate_bps: float) -> float:
+        """Average iperf-reported rate for one session."""
+        if phy_rate_bps <= 0:
+            return 0.0
+        ramp = max(0.0, 1.0 - self.slow_start_penalty_s
+                   / max(self.session_seconds, 1e-9))
+        return phy_rate_bps * self.header_efficiency * ramp
+
+
+def run_downlink_sessions(ue_sinr_db: Mapping[int, float],
+                          ue_serving: Mapping[int, int],
+                          link: LinkAdaptation,
+                          tcp: TcpModel | None = None) -> Dict[int, float]:
+    """Simultaneous per-UE TCP sessions (the paper's step (b)-(c)).
+
+    Parameters
+    ----------
+    ue_sinr_db:
+        Each UE's downlink SINR under the current configuration.
+    ue_serving:
+        Each UE's serving eNodeB (UEs absent from this map are out of
+        service and report 0).
+    link:
+        SINR -> PHY rate mapping for the testbed carrier.
+
+    Returns average TCP goodput (bits/s) per UE id.  Cell capacity is
+    shared equally among the cell's concurrently active sessions
+    (round-robin / long-term proportional-fair, as in Section 4.1).
+    """
+    tcp = tcp or TcpModel()
+    loads: Dict[int, int] = {}
+    for ue_id in ue_sinr_db:
+        enb = ue_serving.get(ue_id)
+        if enb is not None:
+            loads[enb] = loads.get(enb, 0) + 1
+
+    out: Dict[int, float] = {}
+    for ue_id, sinr in ue_sinr_db.items():
+        enb = ue_serving.get(ue_id)
+        if enb is None:
+            out[ue_id] = 0.0
+            continue
+        phy = float(link.max_rate_bps(sinr)) / max(loads[enb], 1)
+        out[ue_id] = tcp.goodput_bps(phy)
+    return out

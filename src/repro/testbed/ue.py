@@ -1,0 +1,31 @@
+"""Testbed user equipment (the Sierra Wireless dongles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["UserEquipment"]
+
+
+@dataclass
+class UserEquipment:
+    """One UE: a position, an IMSI, and its radio measurement role.
+
+    Cell selection and throughput live in the testbed facade (they
+    need every eNodeB's signal); the UE itself is deliberately thin —
+    a dongle plugged into a NUC, as in the paper.
+    """
+
+    ue_id: int
+    x: float
+    y: float
+
+    @property
+    def imsi(self) -> str:
+        """Deterministic test-range IMSI for this dongle."""
+        return f"00101{self.ue_id:010d}"
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (self.x, self.y)

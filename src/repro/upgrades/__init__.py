@@ -1,0 +1,20 @@
+"""Upgrade scenarios and the end-to-end mitigation pipeline."""
+
+from .planner import UpgradeOutcome, UpgradePlanner
+from .multicarrier import (Carrier, CarrierDeployment, MultiCarrierMagus,
+                           MultiCarrierPlan)
+from .precompute import OutagePlanBank
+from .scheduling import (DiurnalLoadProfile, MaintenanceWindow,
+                         SchedulingConstraints, UpgradeScheduler,
+                         estimate_window_impact)
+from .timeline import MigrationTimeline, TimelineEntry, build_timeline
+from .scenario import UpgradeScenario, central_site, select_targets
+
+__all__ = ["UpgradeOutcome", "UpgradePlanner", "OutagePlanBank",
+           "UpgradeScenario", "central_site", "select_targets",
+           "Carrier", "CarrierDeployment", "MultiCarrierMagus",
+           "MultiCarrierPlan",
+           "DiurnalLoadProfile", "MaintenanceWindow",
+           "SchedulingConstraints", "UpgradeScheduler",
+           "estimate_window_impact",
+           "MigrationTimeline", "TimelineEntry", "build_timeline"]

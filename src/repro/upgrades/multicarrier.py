@@ -1,0 +1,166 @@
+"""Multi-carrier extension (paper Section 1: "the principles underlying
+Magus apply to multiple carriers").
+
+LTE carriers are orthogonal: no inter-carrier interference, separate
+link adaptation per bandwidth, separate attached-UE populations.  A
+multi-carrier deployment therefore decomposes into per-carrier
+instances of the single-carrier model — which is exactly how this
+module is built: a :class:`CarrierDeployment` owns one path-loss
+database + engine + UE raster per carrier (path loss shifts with
+frequency), and :class:`MultiCarrierMagus` plans each carrier's
+mitigation independently and aggregates the recovery.
+
+The shared physical reality is the *sector hardware*: taking a sector
+off-air for an upgrade silences it on **every** carrier at once, which
+is why the aggregate view matters operationally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.magus import Magus
+from ..core.plan import MitigationResult, recovery_ratio
+from ..model.engine import AnalysisEngine
+from ..model.linkrate import LinkAdaptation
+from ..model.network import CellularNetwork
+from ..model.pathloss import PathLossDatabase
+from ..model.propagation import Environment, SPMParameters
+
+__all__ = ["Carrier", "CarrierDeployment", "MultiCarrierMagus",
+           "MultiCarrierPlan"]
+
+#: Reference frequency of the default SPM intercept (band 7 downlink).
+_REFERENCE_MHZ = 2635.0
+
+
+@dataclass(frozen=True)
+class Carrier:
+    """One LTE carrier: frequency, bandwidth, UE share.
+
+    ``ue_share`` is the fraction of the network's UE population camped
+    on this carrier (idle-mode load balancing spreads UEs across
+    carriers); shares across a deployment must sum to ~1.
+    """
+
+    name: str
+    frequency_mhz: float
+    bandwidth_mhz: float
+    ue_share: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0 or self.bandwidth_mhz <= 0:
+            raise ValueError(f"carrier {self.name}: bad radio parameters")
+        if not 0.0 < self.ue_share <= 1.0:
+            raise ValueError(f"carrier {self.name}: bad UE share")
+
+    @property
+    def extra_path_loss_db(self) -> float:
+        """Frequency-scaling of path loss relative to the reference.
+
+        Free-space (and Hata-family) loss grows ~20 log10(f); low-band
+        carriers therefore reach further — the reason operators pair a
+        coverage layer with a capacity layer.
+        """
+        return 20.0 * math.log10(self.frequency_mhz / _REFERENCE_MHZ)
+
+
+class CarrierDeployment:
+    """Per-carrier model instances over one physical sector grid."""
+
+    def __init__(self, network: CellularNetwork,
+                 environment: Environment,
+                 carriers: Sequence[Carrier],
+                 total_ue_density: np.ndarray,
+                 seed: int = 0,
+                 noise_dbm: float = -97.0) -> None:
+        if not carriers:
+            raise ValueError("need at least one carrier")
+        share_sum = sum(c.ue_share for c in carriers)
+        if abs(share_sum - 1.0) > 1e-6:
+            raise ValueError(f"UE shares sum to {share_sum}, expected 1")
+        names = [c.name for c in carriers]
+        if len(set(names)) != len(names):
+            raise ValueError("carrier names must be unique")
+        self.network = network
+        self.carriers: Tuple[Carrier, ...] = tuple(carriers)
+        self._engines: Dict[str, AnalysisEngine] = {}
+        self._densities: Dict[str, np.ndarray] = {}
+        for carrier in carriers:
+            spm = SPMParameters(k1=SPMParameters().k1
+                                + carrier.extra_path_loss_db)
+            pathloss = PathLossDatabase.from_environment(
+                network, environment, spm=spm, seed=seed)
+            link = LinkAdaptation(bandwidth_mhz=carrier.bandwidth_mhz)
+            self._engines[carrier.name] = AnalysisEngine(
+                pathloss, link=link, noise_dbm=noise_dbm)
+            self._densities[carrier.name] = \
+                total_ue_density * carrier.ue_share
+
+    def engine(self, carrier_name: str) -> AnalysisEngine:
+        return self._engines[carrier_name]
+
+    def density(self, carrier_name: str) -> np.ndarray:
+        return self._densities[carrier_name]
+
+
+@dataclass
+class MultiCarrierPlan:
+    """Aggregated mitigation across carriers for one upgrade."""
+
+    per_carrier: Dict[str, MitigationResult]
+
+    @property
+    def aggregate_recovery(self) -> float:
+        """Formula 7 over the summed utilities of all carriers."""
+        f_b = sum(p.f_before for p in self.per_carrier.values())
+        f_u = sum(p.f_upgrade for p in self.per_carrier.values())
+        f_a = sum(p.f_after for p in self.per_carrier.values())
+        return recovery_ratio(f_b, f_u, f_a)
+
+    def describe(self) -> List[str]:
+        lines = []
+        for name, plan in sorted(self.per_carrier.items()):
+            lines.append(f"carrier {name}: recovery "
+                         f"{plan.recovery:.1%} "
+                         f"({plan.tuning.n_steps} steps)")
+        lines.append(f"aggregate recovery: "
+                     f"{self.aggregate_recovery:.1%}")
+        return lines
+
+
+class MultiCarrierMagus:
+    """Per-carrier Magus instances sharing the upgrade event.
+
+    A planned upgrade silences the target sectors on every carrier;
+    each carrier's neighbors are tuned independently (orthogonal
+    spectrum), and the aggregate recovery reports the operator-visible
+    outcome.
+    """
+
+    def __init__(self, deployment: CarrierDeployment,
+                 utility: str = "performance") -> None:
+        self.deployment = deployment
+        self._magus: Dict[str, Magus] = {}
+        for carrier in deployment.carriers:
+            self._magus[carrier.name] = Magus(
+                deployment.network,
+                deployment.engine(carrier.name),
+                deployment.density(carrier.name),
+                utility=utility)
+
+    def plan_mitigation(self, target_sectors: Sequence[int],
+                        tuning: str = "joint") -> MultiCarrierPlan:
+        """Plan every carrier's mitigation for one sector upgrade."""
+        per_carrier = {
+            name: magus.plan_mitigation(target_sectors, tuning=tuning)
+            for name, magus in self._magus.items()}
+        return MultiCarrierPlan(per_carrier=per_carrier)
+
+    def magus_for(self, carrier_name: str) -> Magus:
+        """The single-carrier facade (gradual schedules, feedback...)."""
+        return self._magus[carrier_name]

@@ -1,0 +1,112 @@
+"""Precomputed outage plans — the paper's unplanned-outage extension.
+
+Section 8 names as future work "using Magus's predictive model for
+unplanned outages (using Magus's computed configuration as a starting
+point for feedback control, and pre-computing configurations for
+different outages)".  :class:`OutagePlanBank` realizes that: it runs
+the planner ahead of time for every single-sector (or per-site) outage
+in an area and serves the stored ``C_after`` the moment an outage is
+detected — turning an unplanned outage into a one-step reactive
+model-based response, optionally refined by a warm-started feedback
+pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.feedback import FeedbackResult, FeedbackSettings
+from ..core.magus import Magus
+from ..core.plan import MitigationResult
+from ..synthetic.market import StudyArea
+
+__all__ = ["OutagePlanBank"]
+
+
+@dataclass
+class OutagePlanBank:
+    """Ahead-of-time mitigation plans for candidate outages.
+
+    Build with :meth:`precompute` (single sectors) and/or
+    :meth:`precompute_sites` (whole base stations); query with
+    :meth:`plan_for`.  Keys are the sorted tuple of off-air sectors.
+    """
+
+    magus: Magus
+    tuning: str = "joint"
+    _plans: Dict[Tuple[int, ...], MitigationResult] = field(
+        default_factory=dict)
+
+    @classmethod
+    def for_area(cls, area: StudyArea, tuning: str = "joint",
+                 utility: str = "performance") -> "OutagePlanBank":
+        return cls(magus=Magus.from_area(area, utility=utility),
+                   tuning=tuning)
+
+    # ------------------------------------------------------------------
+    def precompute(self, sector_ids: Iterable[int]) -> int:
+        """Plan every single-sector outage in ``sector_ids``.
+
+        Returns the number of plans computed (cached keys are skipped,
+        so re-running after a topology-neutral config refresh is cheap).
+        """
+        computed = 0
+        for sid in sector_ids:
+            key = (sid,)
+            if key in self._plans:
+                continue
+            self._plans[key] = self.magus.plan_mitigation(
+                key, tuning=self.tuning)
+            computed += 1
+        return computed
+
+    def precompute_sites(self, site_ids: Iterable[int]) -> int:
+        """Plan whole-site outages (scenario (b)-shaped failures)."""
+        computed = 0
+        for site_id in site_ids:
+            sectors = tuple(sorted(
+                self.magus.network.sites[site_id].sector_ids))
+            if sectors in self._plans:
+                continue
+            self._plans[sectors] = self.magus.plan_mitigation(
+                sectors, tuning=self.tuning)
+            computed += 1
+        return computed
+
+    # ------------------------------------------------------------------
+    @property
+    def n_plans(self) -> int:
+        return len(self._plans)
+
+    def covered_outages(self) -> List[Tuple[int, ...]]:
+        return sorted(self._plans)
+
+    def plan_for(self, failed_sectors: Sequence[int]
+                 ) -> Optional[MitigationResult]:
+        """The stored plan for this exact outage, or None if unseen."""
+        return self._plans.get(tuple(sorted(failed_sectors)))
+
+    def respond(self, failed_sectors: Sequence[int],
+                refine: bool = False,
+                feedback_settings: Optional[FeedbackSettings] = None
+                ) -> Tuple[MitigationResult, Optional[FeedbackResult]]:
+        """React to an outage: stored plan, else plan on the spot.
+
+        With ``refine=True`` a feedback pass warm-starts from the
+        plan's ``C_after`` to absorb any drift between the model and
+        the field (the paper's hybrid strategy: "a feedback-based
+        approach to go from C_so to a higher utility ... in a small
+        number of steps").
+        """
+        plan = self.plan_for(failed_sectors)
+        if plan is None:
+            plan = self.magus.plan_mitigation(tuple(failed_sectors),
+                                              tuning=self.tuning)
+            self._plans[tuple(sorted(failed_sectors))] = plan
+        feedback = None
+        if refine:
+            feedback = self.magus.reactive_feedback_run(
+                plan.target_sectors, settings=feedback_settings,
+                warm_start=plan.c_after)
+        return plan, feedback

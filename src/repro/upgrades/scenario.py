@@ -1,0 +1,110 @@
+"""The paper's three upgrade scenarios (Figure 9).
+
+"(a) upgrading a single sector at a centrally-located base station,
+(b) upgrading three sectors located at the same central base station,
+and (c) upgrading four sectors at the four corners of the region."
+
+Target selection is purely geometric over a
+:class:`~repro.synthetic.market.StudyArea`'s *tuning region*, so every
+(market, area, scenario) combination of the 27-scenario sweep is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Tuple
+
+from ..model.network import CellularNetwork
+from ..synthetic.market import StudyArea
+
+__all__ = ["UpgradeScenario", "select_targets", "central_site"]
+
+
+class UpgradeScenario(enum.Enum):
+    """Scenario labels follow the paper's (a)/(b)/(c)."""
+
+    SINGLE_SECTOR = "a"
+    FULL_SITE = "b"
+    FOUR_CORNERS = "c"
+
+    @classmethod
+    def from_label(cls, label: str) -> "UpgradeScenario":
+        for scenario in cls:
+            if scenario.value == label:
+                return scenario
+        raise ValueError(f"unknown scenario label {label!r}; use a/b/c")
+
+
+def central_site(area: StudyArea) -> int:
+    """The site id closest to the tuning region's center."""
+    cx, cy = area.tuning_region.center
+    best_site = None
+    best_dist = math.inf
+    for site in area.network.sites.values():
+        d = math.hypot(site.x - cx, site.y - cy)
+        if d < best_dist:
+            best_dist = d
+            best_site = site.site_id
+    assert best_site is not None
+    return best_site
+
+
+def select_targets(area: StudyArea,
+                   scenario: UpgradeScenario) -> Tuple[int, ...]:
+    """The sector ids taken off-air under ``scenario``."""
+    network = area.network
+    if scenario is UpgradeScenario.SINGLE_SECTOR:
+        site = network.sites[central_site(area)]
+        return (_best_facing_sector(network, site.sector_ids,
+                                    area.tuning_region.center),)
+    if scenario is UpgradeScenario.FULL_SITE:
+        site = network.sites[central_site(area)]
+        return tuple(site.sector_ids)
+    return _corner_sectors(area)
+
+
+def _best_facing_sector(network: CellularNetwork,
+                        sector_ids: Tuple[int, ...],
+                        point: Tuple[float, float]) -> int:
+    """Of co-sited sectors, the one whose azimuth best faces ``point``.
+
+    For a perfectly central site the choice is arbitrary; facing the
+    region center maximizes the sector's footprint inside the tuning
+    area, which is what "centrally-located" upgrades stress.
+    """
+    px, py = point
+    best = sector_ids[0]
+    best_err = math.inf
+    for sid in sector_ids:
+        s = network.sector(sid)
+        bearing = math.degrees(math.atan2(px - s.x, py - s.y)) % 360.0
+        err = abs((bearing - s.azimuth_deg + 180.0) % 360.0 - 180.0)
+        if err < best_err:
+            best_err = err
+            best = sid
+    return best
+
+
+def _corner_sectors(area: StudyArea) -> Tuple[int, ...]:
+    """One sector near each corner of the tuning region (distinct sites)."""
+    region = area.tuning_region
+    corners = [(region.x0, region.y0), (region.x1, region.y0),
+               (region.x0, region.y1), (region.x1, region.y1)]
+    chosen: List[int] = []
+    used_sites = set()
+    for cx, cy in corners:
+        best = None
+        best_dist = math.inf
+        for s in area.network.sectors:
+            if s.site_id in used_sites:
+                continue
+            d = math.hypot(s.x - cx, s.y - cy)
+            if d < best_dist:
+                best_dist = d
+                best = s
+        if best is not None:
+            chosen.append(best.sector_id)
+            used_sites.add(best.site_id)
+    return tuple(chosen)

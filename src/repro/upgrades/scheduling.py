@@ -1,0 +1,197 @@
+"""Upgrade-window scheduling against a diurnal load profile.
+
+The paper's operators "carefully plan such upgrades during the
+off-peak hours and low-impact days, when possible" — and Magus exists
+for the windows where that fails (overruns, vendor-constrained daytime
+work, 24/7 venues).  This module implements the planning side:
+
+* :class:`DiurnalLoadProfile` — the hour-of-week traffic shape that
+  makes 3 a.m. Tuesday cheap and 2 p.m. Friday expensive;
+* :func:`estimate_window_impact` — expected utility-loss of running a
+  ticket in a given window, using the model's ``f(C_before) -
+  f(C_upgrade)`` degradation scaled by the per-hour load;
+* :class:`UpgradeScheduler` — picks the cheapest feasible window under
+  vendor/maintenance constraints, and quantifies the *residual* impact
+  that motivates Magus when no clean window exists.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DiurnalLoadProfile", "MaintenanceWindow",
+           "SchedulingConstraints", "UpgradeScheduler",
+           "estimate_window_impact"]
+
+_HOURS_PER_WEEK = 168
+
+
+@dataclass(frozen=True)
+class DiurnalLoadProfile:
+    """Relative traffic load per hour of week (Mon 00:00 = index 0).
+
+    The default shape is the classic cellular double-hump weekday
+    (morning/evening busy hours), flatter weekends, and a deep
+    overnight valley — normalized so the weekly mean is 1.0.
+    """
+
+    hourly: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hourly) != _HOURS_PER_WEEK:
+            raise ValueError(
+                f"need {_HOURS_PER_WEEK} hourly weights, "
+                f"got {len(self.hourly)}")
+        if any(w < 0 for w in self.hourly):
+            raise ValueError("load weights must be non-negative")
+
+    @classmethod
+    def typical(cls, weekend_discount: float = 0.8,
+                valley_floor: float = 0.15) -> "DiurnalLoadProfile":
+        """The standard macro-cell shape."""
+        day = np.zeros(24)
+        for hour in range(24):
+            # Two Gaussian humps at 11:00 and 19:00 over a base.
+            day[hour] = (valley_floor
+                         + 0.9 * np.exp(-((hour - 11) / 3.0) ** 2)
+                         + 1.0 * np.exp(-((hour - 19) / 3.0) ** 2))
+        week = []
+        for dow in range(7):
+            scale = weekend_discount if dow >= 5 else 1.0
+            week.extend(day * scale)
+        arr = np.asarray(week)
+        arr = arr / arr.mean()
+        return cls(hourly=tuple(float(x) for x in arr))
+
+    def load_at(self, when: dt.datetime) -> float:
+        """Relative load at a wall-clock instant."""
+        index = when.weekday() * 24 + when.hour
+        return self.hourly[index]
+
+    def window_load(self, start: dt.datetime, hours: float) -> float:
+        """Mean relative load over a window (hour-granular)."""
+        if hours <= 0:
+            raise ValueError("window must have positive duration")
+        n = max(1, int(np.ceil(hours)))
+        total = 0.0
+        for i in range(n):
+            total += self.load_at(start + dt.timedelta(hours=i))
+        return total / n
+
+
+@dataclass(frozen=True)
+class MaintenanceWindow:
+    """One candidate execution window for a ticket."""
+
+    start: dt.datetime
+    duration_hours: float
+
+    @property
+    def end(self) -> dt.datetime:
+        return self.start + dt.timedelta(hours=self.duration_hours)
+
+
+@dataclass(frozen=True)
+class SchedulingConstraints:
+    """Operational limits on when the work may run.
+
+    ``vendor_hours`` restricts starts to a daily hour range (vendor
+    crews are the paper's reason some upgrades must run in daytime);
+    ``earliest``/``latest`` bound the calendar search.
+    """
+
+    earliest: dt.datetime
+    latest: dt.datetime
+    vendor_hours: Optional[Tuple[int, int]] = None   # e.g. (8, 18)
+    step_hours: int = 1
+
+    def start_allowed(self, when: dt.datetime) -> bool:
+        if not (self.earliest <= when <= self.latest):
+            return False
+        if self.vendor_hours is not None:
+            lo, hi = self.vendor_hours
+            if not (lo <= when.hour < hi):
+                return False
+        return True
+
+
+def estimate_window_impact(base_degradation: float,
+                           profile: DiurnalLoadProfile,
+                           window: MaintenanceWindow) -> float:
+    """Expected utility loss of an outage run in ``window``.
+
+    ``base_degradation`` is the model's ``f(C_before) - f(C_upgrade)``
+    at reference (mean) load; the hourly profile scales it — more
+    attached UEs means more lost log-rate.  The estimate integrates
+    over the window's hours, so spill into a busy hour is charged.
+    """
+    if base_degradation < 0:
+        raise ValueError("degradation must be non-negative")
+    return base_degradation * profile.window_load(
+        window.start, window.duration_hours) * window.duration_hours
+
+
+@dataclass
+class ScheduledUpgrade:
+    """The scheduler's decision for one ticket."""
+
+    window: MaintenanceWindow
+    expected_impact: float
+    best_possible_impact: float
+
+    @property
+    def regret(self) -> float:
+        """Impact above the unconstrained optimum (vendor cost)."""
+        return self.expected_impact - self.best_possible_impact
+
+
+class UpgradeScheduler:
+    """Greedy cheapest-window scheduling under constraints."""
+
+    def __init__(self, profile: Optional[DiurnalLoadProfile] = None) -> None:
+        self.profile = profile or DiurnalLoadProfile.typical()
+
+    def candidate_windows(self, constraints: SchedulingConstraints,
+                          duration_hours: float
+                          ) -> List[MaintenanceWindow]:
+        """Every admissible window at ``step_hours`` granularity."""
+        out = []
+        t = constraints.earliest.replace(minute=0, second=0,
+                                         microsecond=0)
+        while t <= constraints.latest:
+            if constraints.start_allowed(t):
+                out.append(MaintenanceWindow(start=t,
+                                             duration_hours=duration_hours))
+            t += dt.timedelta(hours=constraints.step_hours)
+        return out
+
+    def schedule(self, base_degradation: float, duration_hours: float,
+                 constraints: SchedulingConstraints) -> ScheduledUpgrade:
+        """The cheapest feasible window for one ticket.
+
+        ``best_possible_impact`` is computed over the *unconstrained*
+        calendar span, so the result quantifies how much the vendor
+        constraint costs — the gap Magus's mitigation then attacks.
+        """
+        windows = self.candidate_windows(constraints, duration_hours)
+        if not windows:
+            raise ValueError("no admissible window under the constraints")
+        impacts = [estimate_window_impact(base_degradation, self.profile, w)
+                   for w in windows]
+        best_index = int(np.argmin(impacts))
+
+        unconstrained = SchedulingConstraints(
+            earliest=constraints.earliest, latest=constraints.latest,
+            vendor_hours=None, step_hours=constraints.step_hours)
+        free_windows = self.candidate_windows(unconstrained,
+                                              duration_hours)
+        free_best = min(
+            estimate_window_impact(base_degradation, self.profile, w)
+            for w in free_windows)
+        return ScheduledUpgrade(window=windows[best_index],
+                                expected_impact=impacts[best_index],
+                                best_possible_impact=free_best)

@@ -1,0 +1,122 @@
+"""Wall-clock execution timeline for a gradual migration.
+
+The gradual scheduler (:mod:`repro.core.gradual`) produces an ordered
+list of configuration steps; operations needs those steps placed on
+the clock: start early enough that the last UE leaves before the crew
+pulls the plug, pace steps so the signaling plane never sees a spike,
+and know the *rate* of handovers per minute — the quantity that
+actually strains MMEs during the paper's "synchronized handover"
+failure mode.
+
+:class:`MigrationTimeline` lays the steps out backward from the
+upgrade instant, spacing them by ``step_interval_minutes`` (each step
+needs its config push plus a settling period for UE reselection), and
+converts handover batches into per-minute signaling load using the
+EPC-lite per-procedure message costs.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List
+
+from ..core.gradual import GradualResult
+
+__all__ = ["TimelineEntry", "MigrationTimeline", "build_timeline"]
+
+#: 3GPP-ish message counts per UE move (matches repro.testbed.epc).
+_X2_MESSAGES_PER_UE = 4
+_S1_MESSAGES_PER_UE = 12
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled tuning step."""
+
+    at: dt.datetime
+    step_index: int
+    handover_ues: float
+    seamless_ues: float
+    hard_ues: float
+    signaling_messages: float
+
+    @property
+    def is_upgrade_instant(self) -> bool:
+        return self.step_index < 0
+
+
+@dataclass
+class MigrationTimeline:
+    """A gradual schedule placed on the wall clock."""
+
+    entries: List[TimelineEntry]
+    upgrade_at: dt.datetime
+    step_interval_minutes: float
+
+    @property
+    def starts_at(self) -> dt.datetime:
+        return self.entries[0].at if self.entries else self.upgrade_at
+
+    @property
+    def lead_time(self) -> dt.timedelta:
+        """How long before the upgrade the migration must begin."""
+        return self.upgrade_at - self.starts_at
+
+    def peak_signaling_per_minute(self) -> float:
+        """Worst per-step signaling burst, amortized over the interval."""
+        if not self.entries:
+            return 0.0
+        interval = max(self.step_interval_minutes, 1e-9)
+        return max(e.signaling_messages for e in self.entries) / interval
+
+    def total_signaling(self) -> float:
+        return sum(e.signaling_messages for e in self.entries)
+
+    def describe(self) -> List[str]:
+        lines = [f"migration starts {self.starts_at:%Y-%m-%d %H:%M} "
+                 f"({self.lead_time} before the upgrade)"]
+        for e in self.entries:
+            label = "UPGRADE" if e.is_upgrade_instant else \
+                f"step {e.step_index + 1}"
+            lines.append(
+                f"  {e.at:%H:%M} {label:8s} "
+                f"{e.handover_ues:8.1f} UEs move "
+                f"({e.hard_ues:.1f} hard), "
+                f"{e.signaling_messages:8.0f} msgs")
+        return lines
+
+
+def build_timeline(gradual: GradualResult, upgrade_at: dt.datetime,
+                   step_interval_minutes: float = 10.0
+                   ) -> MigrationTimeline:
+    """Place a gradual schedule's steps on the clock.
+
+    All pre-upgrade steps are spaced ``step_interval_minutes`` apart and
+    finish exactly at ``upgrade_at``, when the final transition (the
+    targets going off-air) fires.  The paper's observation that the
+    feedback alternative "could recover performance only after two
+    hours *after* the start of the planned upgrade" contrasts with this
+    lead time being entirely *before* it.
+    """
+    if step_interval_minutes <= 0:
+        raise ValueError("step interval must be positive")
+    n_steps = len(gradual.batches)
+    entries: List[TimelineEntry] = []
+    for i, batch in enumerate(gradual.batches):
+        is_final = i == n_steps - 1
+        # The final transition is the upgrade instant itself.
+        minutes_before = 0.0 if is_final else \
+            (n_steps - 1 - i) * step_interval_minutes
+        at = upgrade_at - dt.timedelta(minutes=minutes_before)
+        messages = (batch.seamless_ues * _X2_MESSAGES_PER_UE
+                    + batch.hard_ues * _S1_MESSAGES_PER_UE)
+        entries.append(TimelineEntry(
+            at=at,
+            step_index=(-1 if is_final else i),
+            handover_ues=batch.total_ues,
+            seamless_ues=batch.seamless_ues,
+            hard_ues=batch.hard_ues,
+            signaling_messages=messages))
+    return MigrationTimeline(entries=entries, upgrade_at=upgrade_at,
+                             step_interval_minutes=step_interval_minutes)

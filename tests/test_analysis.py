@@ -1,0 +1,166 @@
+"""Tests for metrics, report formatting, ASCII maps and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_map import (render_field, render_mask,
+                                      render_serving_map)
+from repro.analysis.export import results_dir, write_csv
+from repro.analysis.metrics import (build_convergence_timelines,
+                                    empirical_cdf, grouped_mean,
+                                    improvement_ratio,
+                                    summarize_improvements)
+from repro.analysis.report import (format_series, format_table,
+                                   format_table1, format_table2)
+from repro.model.snapshot import NO_SERVICE
+
+
+class TestMetrics:
+    def test_improvement_ratio(self):
+        assert improvement_ratio(0.4, 0.2) == 2.0
+        assert improvement_ratio(0.3, 0.0) == float("inf")
+        assert improvement_ratio(0.0, 0.0) == 1.0
+
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+        assert ps[0] == pytest.approx(1.0 / 3.0)
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_grouped_mean(self):
+        rows = [("rural", "a", 0.2), ("rural", "a", 0.4),
+                ("urban", "a", 0.1)]
+        means = grouped_mean(rows, key_indices=[0, 1], value_index=2)
+        assert means[("rural", "a")] == pytest.approx(0.3)
+        assert means[("urban", "a")] == pytest.approx(0.1)
+
+    def test_summarize_improvements_paper_style(self):
+        """Reconstruct the statistics the paper quotes for Figure 13."""
+        ratios = [1.0] * 17 + [0.95] * 5 + [1.5, 1.6, 1.4, 2.0, 3.87]
+        stats = summarize_improvements(ratios)
+        assert stats["n_scenarios"] == 27
+        assert stats["max_ratio"] == pytest.approx(3.87)
+        assert stats["min_ratio"] >= 0.9
+        assert 0 < stats["fraction_30pct_better"] < 0.3
+
+    def test_convergence_timelines_shape(self):
+        tl = build_convergence_timelines(10.0, 4.0, 8.0,
+                                         [4.0, 5.0, 6.0, 8.0],
+                                         total_ticks=6)
+        assert len(tl.times) == 7
+        assert tl.proactive_model == [8.0] * 7
+        assert tl.reactive_model[0] == 4.0
+        assert tl.reactive_model[1] == 8.0
+        assert tl.no_tuning == [4.0] * 7
+        assert tl.reactive_feedback[0] == 4.0
+        assert tl.reactive_feedback[-1] == 8.0
+        assert len(tl.as_rows()) == 7
+
+    def test_convergence_requires_tick(self):
+        with pytest.raises(ValueError):
+            build_convergence_timelines(1.0, 0.0, 1.0, [], total_ticks=0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_table1_layout(self):
+        cells = {(t, a, s): 0.5
+                 for t in ("power", "tilt", "joint")
+                 for a in ("rural", "suburban", "urban")
+                 for s in ("a", "b", "c")}
+        text = format_table1(cells)
+        assert "Power-Tuning" in text
+        assert "Joint" in text
+        assert text.count("50.0%") == 27
+
+    def test_table1_missing_cells(self):
+        text = format_table1({})
+        assert "--" in text
+
+    def test_table2_layout(self):
+        text = format_table2({("performance", "performance"): 0.663,
+                              ("performance", "coverage"): 0.026,
+                              ("coverage", "performance"): -0.293,
+                              ("coverage", "coverage"): 0.144})
+        assert "66.3%" in text
+        assert "-29.3%" in text
+
+    def test_format_series(self):
+        text = format_series("s", [0, 1], [0.5, 0.75], "{:.2f}")
+        assert "0: 0.50" in text
+        with pytest.raises(ValueError):
+            format_series("s", [0], [1.0, 2.0])
+
+
+class TestAsciiMaps:
+    def test_render_field_dimensions(self):
+        field = np.linspace(0.0, 1.0, 400).reshape(20, 20)
+        text = render_field(field, max_width=10)
+        lines = text.splitlines()
+        assert all(len(line) <= 10 for line in lines)
+
+    def test_render_field_brightness_ordering(self):
+        field = np.asarray([[0.0, 1.0]])
+        text = render_field(field)
+        dark, bright = text[0], text[1]
+        ramp = " .:-=+*%@"
+        assert ramp.index(bright) > ramp.index(dark)
+
+    def test_render_field_pinned_scale(self):
+        a = render_field(np.asarray([[0.5]]), lo=0.0, hi=1.0)
+        b = render_field(np.asarray([[0.5, 0.5]]), lo=0.0, hi=1.0)
+        assert a[0] == b[0]
+
+    def test_render_field_rejects_all_nan(self):
+        with pytest.raises(ValueError):
+            render_field(np.full((2, 2), np.nan))
+
+    def test_render_serving_map_symbols(self):
+        serving = np.asarray([[0, 1], [NO_SERVICE, 0]])
+        text = render_serving_map(serving)
+        assert "#" in text            # the hole
+        rows = text.splitlines()
+        # Row order is flipped (north at top): original row 1 prints first.
+        assert rows[0][0] == "#"
+        assert rows[1][0] == rows[0][1]   # both sector 0
+
+    def test_render_mask(self):
+        mask = np.asarray([[True, False]])
+        assert render_mask(mask) == "R."
+
+
+class TestExport:
+    def test_write_and_read_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_csv("unit_test", ["a", "b"], [[1, 2], [3, 4]])
+        assert path.parent == tmp_path
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[2] == "3,4"
+
+    def test_row_width_validated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        with pytest.raises(ValueError):
+            write_csv("bad", ["a"], [[1, 2]])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            write_csv("../evil", ["a"], [])
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+        assert results_dir() == tmp_path / "sub"
+        assert results_dir().is_dir()

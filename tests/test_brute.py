@@ -1,0 +1,78 @@
+"""Unit tests for brute-force search, and heuristic validation against it."""
+
+import pytest
+
+from repro.core.brute import BruteForceSettings, tune_brute_force
+from repro.core.search import PowerSearchSettings, tune_power
+
+
+@pytest.fixture
+def outage(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    baseline = toy_evaluator.state_of(c_before)
+    return c_before.with_offline([1]), baseline
+
+
+class TestBruteForce:
+    def test_finds_no_worse_than_start(self, toy_evaluator, toy_network,
+                                       outage):
+        c_upgrade, _ = outage
+        result = tune_brute_force(toy_evaluator, toy_network, c_upgrade,
+                                  [0, 2],
+                                  BruteForceSettings(max_delta_db=3.0))
+        assert result.final_utility >= result.initial_utility
+        assert result.termination.startswith("enumerated-")
+
+    def test_heuristic_never_beats_brute_force(self, toy_evaluator,
+                                               toy_network, outage):
+        """Gold-standard check: over the same (power-increase) space,
+        Algorithm 1 cannot exceed exhaustive search."""
+        c_upgrade, baseline = outage
+        brute = tune_brute_force(
+            toy_evaluator, toy_network, c_upgrade, [0, 2],
+            BruteForceSettings(unit_db=1.0, max_delta_db=6.0))
+        heuristic = tune_power(
+            toy_evaluator, toy_network, c_upgrade, baseline, [1],
+            PowerSearchSettings(unit_db=1.0, max_unit_db=6.0))
+        assert heuristic.final_utility <= brute.final_utility + 1e-9
+
+    def test_heuristic_close_to_optimal(self, toy_evaluator, toy_network,
+                                        outage):
+        """On the toy world the heuristic should land within a few
+        percent of the exhaustive optimum's *gain*."""
+        c_upgrade, baseline = outage
+        brute = tune_brute_force(
+            toy_evaluator, toy_network, c_upgrade, [0, 2],
+            BruteForceSettings(unit_db=1.0, max_delta_db=6.0))
+        heuristic = tune_power(
+            toy_evaluator, toy_network, c_upgrade, baseline, [1],
+            PowerSearchSettings(unit_db=1.0, max_unit_db=6.0))
+        brute_gain = brute.final_utility - brute.initial_utility
+        heur_gain = heuristic.final_utility - heuristic.initial_utility
+        if brute_gain > 0:
+            assert heur_gain >= 0.5 * brute_gain
+
+    def test_allow_decrease_extends_space(self, toy_evaluator, toy_network,
+                                          outage):
+        c_upgrade, _ = outage
+        up_only = tune_brute_force(
+            toy_evaluator, toy_network, c_upgrade, [0],
+            BruteForceSettings(unit_db=2.0, max_delta_db=2.0))
+        both = tune_brute_force(
+            toy_evaluator, toy_network, c_upgrade, [0],
+            BruteForceSettings(unit_db=2.0, max_delta_db=2.0,
+                               allow_decrease=True))
+        assert both.final_utility >= up_only.final_utility - 1e-9
+
+    def test_combination_cap(self, toy_evaluator, toy_network, outage):
+        c_upgrade, _ = outage
+        with pytest.raises(ValueError, match="enumerate"):
+            tune_brute_force(
+                toy_evaluator, toy_network, c_upgrade, [0, 2],
+                BruteForceSettings(unit_db=0.001, max_delta_db=3.0,
+                                   allow_decrease=True))
+
+    def test_requires_sectors(self, toy_evaluator, toy_network, outage):
+        c_upgrade, _ = outage
+        with pytest.raises(ValueError):
+            tune_brute_force(toy_evaluator, toy_network, c_upgrade, [])

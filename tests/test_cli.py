@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mitigate_defaults(self):
+        args = build_parser().parse_args(["mitigate"])
+        assert args.area_type == "suburban"
+        assert args.scenario == "a"
+        assert args.tuning == "joint"
+        assert not args.gradual
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mitigate", "--tuning", "magic"])
+
+
+class TestCommands:
+    def test_calendar_command(self, capsys):
+        assert main(["calendar", "--seed", "3", "--sites", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "tickets in one year" in out
+        assert "Tue-Fri vs other days" in out
+
+    def test_testbed_command(self, capsys):
+        assert main(["testbed", "--scenario", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "f(C_before)" in out
+        assert "proactive" in out
+
+    @pytest.mark.slow
+    def test_area_command(self, capsys, monkeypatch):
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        assert main(["area", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sectors over" in out
+
+    @pytest.mark.slow
+    def test_mitigate_command(self, capsys, monkeypatch):
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        assert main(["mitigate", "--tuning", "power", "--seed", "1",
+                     "--gradual"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery ratio" in out
+        assert "peak" in out
+
+
+class TestValidateCommand:
+    @pytest.mark.slow
+    def test_validate_command(self, capsys, monkeypatch):
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        assert main(["validate", "--seed", "1", "--samples", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage agreement" in out
+        assert "SINR MAE" in out

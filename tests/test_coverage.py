@@ -1,0 +1,62 @@
+"""Unit tests for coverage maps and upgrade coverage diffs."""
+
+import numpy as np
+import pytest
+
+from repro.model.coverage import coverage_change, coverage_map
+from repro.model.geometry import Region
+from repro.model.snapshot import NO_SERVICE
+
+
+@pytest.fixture
+def before_after(toy_engine, toy_network, toy_density):
+    c = toy_network.planned_configuration()
+    return (toy_engine.evaluate(c, toy_density),
+            toy_engine.evaluate(c.with_offline([1]), toy_density))
+
+
+class TestCoverageMap:
+    def test_fractions_sum(self, before_after):
+        cm = coverage_map(before_after[0])
+        assert cm.covered_fraction + cm.hole_fraction == pytest.approx(1.0)
+
+    def test_footprints_match_serving(self, before_after):
+        state = before_after[0]
+        cm = coverage_map(state)
+        sizes = cm.footprint_sizes()
+        for sid, size in sizes.items():
+            assert size == int((state.serving == sid).sum())
+        assert cm.sector_count() == len(sizes)
+
+    def test_region_restriction(self, before_after):
+        state = before_after[0]
+        inner = Region.square(800.0)
+        cm = coverage_map(state, region=inner)
+        mask = state.grid.mask_of_region(inner)
+        assert not np.any(cm.covered & ~mask)
+        assert np.all(cm.serving[~mask] == NO_SERVICE)
+
+    def test_offline_sector_absent(self, before_after):
+        cm = coverage_map(before_after[1])
+        assert 1 not in cm.footprint_sizes()
+
+
+class TestCoverageChange:
+    def test_outage_only_loses_or_reassigns(self, before_after):
+        before, after = before_after
+        change = coverage_change(before, after)
+        assert change["grids_lost"] >= 0
+        assert change["grids_gained"] == 0   # nothing new can appear
+        assert change["grids_reassigned"] > 0
+
+    def test_ue_accounting_consistent(self, before_after):
+        before, after = before_after
+        change = coverage_change(before, after)
+        lost_mask = before.covered_mask() & ~after.covered_mask()
+        assert change["ues_lost"] == pytest.approx(
+            before.ue_density[lost_mask].sum())
+
+    def test_identity_change_is_zero(self, before_after):
+        before, _ = before_after
+        change = coverage_change(before, before)
+        assert all(v == 0 for v in change.values())

@@ -1,0 +1,77 @@
+"""Unit tests for the memoizing Evaluation component."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluator
+
+
+class TestMemoization:
+    def test_repeat_lookup_is_cached(self, toy_engine, toy_network,
+                                     toy_density):
+        ev = Evaluator(toy_engine, toy_density, "performance")
+        config = toy_network.planned_configuration()
+        ev.utility_of(config)
+        n = ev.model_evaluations
+        ev.utility_of(config)
+        ev.state_of(config)
+        assert ev.model_evaluations == n == 1
+
+    def test_equal_configs_share_entry(self, toy_engine, toy_network,
+                                       toy_density):
+        ev = Evaluator(toy_engine, toy_density)
+        a = toy_network.planned_configuration()
+        b = a.with_power(0, 40.0).with_power(0, a.power_dbm(0))  # round trip
+        ev.utility_of(a)
+        ev.utility_of(b)
+        assert ev.model_evaluations == 1
+
+    def test_cache_eviction(self, toy_engine, toy_network, toy_density):
+        ev = Evaluator(toy_engine, toy_density, cache_size=2)
+        base = toy_network.planned_configuration()
+        configs = [base.with_power(0, 40.0 + i) for i in range(4)]
+        for c in configs:
+            ev.utility_of(c)
+        assert ev.model_evaluations == 4
+        ev.utility_of(configs[0])          # evicted: recomputed
+        assert ev.model_evaluations == 5
+
+
+class TestScoring:
+    def test_utility_matches_function(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration()
+        state = toy_evaluator.state_of(config)
+        assert toy_evaluator.utility_of(config) == pytest.approx(
+            toy_evaluator.utility.evaluate(state))
+
+    def test_rescore_reuses_snapshot(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration()
+        toy_evaluator.utility_of(config)
+        n = toy_evaluator.model_evaluations
+        coverage_value = toy_evaluator.rescore(config, "coverage")
+        assert toy_evaluator.model_evaluations == n
+        state = toy_evaluator.state_of(config)
+        assert coverage_value == pytest.approx(state.covered_ue_count())
+
+    def test_with_utility_sibling(self, toy_evaluator, toy_network):
+        sibling = toy_evaluator.with_utility("coverage")
+        config = toy_network.planned_configuration()
+        assert sibling.utility_of(config) == pytest.approx(
+            toy_evaluator.rescore(config, "coverage"))
+
+    def test_outage_lowers_utility(self, toy_evaluator, toy_network):
+        c = toy_network.planned_configuration()
+        assert toy_evaluator.utility_of(c.with_offline([1])) < \
+            toy_evaluator.utility_of(c)
+
+
+class TestValidation:
+    def test_density_shape_checked(self, toy_engine):
+        with pytest.raises(ValueError):
+            Evaluator(toy_engine, np.zeros((3, 3)))
+
+    def test_received_power_tensor_shape(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration()
+        rp = toy_evaluator.received_power_tensor(config)
+        assert rp.shape == (toy_network.n_sectors,) + \
+            toy_evaluator.engine.grid.shape

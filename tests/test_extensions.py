@@ -1,0 +1,102 @@
+"""Tests for the paper's future-work extensions: precomputed outage
+plans and load balancing."""
+
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.loadbalance import (LoadBalanceSettings, rebalance,
+                                    sector_load_report)
+from repro.core.magus import Magus
+from repro.upgrades.precompute import OutagePlanBank
+
+
+@pytest.fixture
+def magus(toy_network, toy_engine, toy_density):
+    return Magus(toy_network, toy_engine, toy_density)
+
+
+class TestOutagePlanBank:
+    def test_precompute_and_lookup(self, magus):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        n = bank.precompute([0, 1, 2])
+        assert n == 3
+        assert bank.n_plans == 3
+        plan = bank.plan_for([1])
+        assert plan is not None
+        assert plan.target_sectors == (1,)
+
+    def test_precompute_idempotent(self, magus):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        bank.precompute([1])
+        assert bank.precompute([1]) == 0
+
+    def test_precompute_sites(self, magus, toy_network):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        n = bank.precompute_sites(list(toy_network.sites)[:2])
+        assert n == 2
+
+    def test_respond_unseen_outage_plans_on_demand(self, magus):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        plan, feedback = bank.respond([2])
+        assert plan.target_sectors == (2,)
+        assert feedback is None
+        assert bank.plan_for([2]) is plan     # now cached
+
+    def test_respond_with_refinement(self, magus):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        bank.precompute([1])
+        plan, feedback = bank.respond([1], refine=True)
+        assert feedback is not None
+        # Warm-started feedback can only add utility.
+        assert feedback.final_utility >= plan.f_after - 1e-9
+
+    def test_key_order_insensitive(self, magus):
+        bank = OutagePlanBank(magus=magus, tuning="power")
+        bank.precompute_sites([list(magus.network.sites)[0]])
+        key = bank.covered_outages()[0]
+        assert bank.plan_for(tuple(reversed(key))) is not None
+
+
+class TestLoadBalancing:
+    def test_report_matches_state(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration()
+        report = sector_load_report(toy_evaluator, config)
+        state = toy_evaluator.state_of(config)
+        for sid, load in report.items():
+            assert load == pytest.approx(state.served_ue_count(sid))
+
+    def test_rebalance_sheds_load_within_budget(self, toy_evaluator,
+                                                toy_network):
+        config = toy_network.planned_configuration()
+        result = rebalance(toy_evaluator, toy_network, config,
+                           hot_sector=1,
+                           settings=LoadBalanceSettings(
+                               target_load_fraction=0.8,
+                               utility_budget_fraction=0.05))
+        assert result.final_load <= result.initial_load + 1e-9
+        assert result.utility_cost <= 0.05 + 1e-9
+        assert result.tuning.termination in (
+            "target-reached", "power-floor", "budget-exhausted",
+            "max-steps")
+
+    def test_rebalance_keeps_sector_on_air(self, toy_evaluator,
+                                           toy_network):
+        config = toy_network.planned_configuration()
+        result = rebalance(toy_evaluator, toy_network, config,
+                           hot_sector=1)
+        assert result.tuning.final_config.is_active(1)
+
+    def test_offline_sector_rejected(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration().with_offline([1])
+        with pytest.raises(ValueError):
+            rebalance(toy_evaluator, toy_network, config, hot_sector=1)
+
+    def test_zero_budget_changes_little(self, toy_evaluator, toy_network):
+        config = toy_network.planned_configuration()
+        result = rebalance(toy_evaluator, toy_network, config,
+                           hot_sector=1,
+                           settings=LoadBalanceSettings(
+                               utility_budget_fraction=0.0))
+        # With no budget, only utility-neutral-or-better steps commit.
+        assert result.final_utility >= result.initial_utility \
+            - 1e-9 * abs(result.initial_utility)

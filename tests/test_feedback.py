@@ -1,0 +1,70 @@
+"""Unit tests for the reactive feedback-based comparator."""
+
+import pytest
+
+from repro.core.feedback import FeedbackSettings, reactive_feedback
+
+
+@pytest.fixture
+def c_upgrade(toy_network):
+    return toy_network.planned_configuration().with_offline([1])
+
+
+class TestReactiveFeedback:
+    def test_climbs_monotonically(self, toy_evaluator, toy_network,
+                                  c_upgrade):
+        result = reactive_feedback(toy_evaluator, toy_network, c_upgrade,
+                                   [1])
+        trace = result.utility_trace
+        assert all(b > a for a, b in zip(trace, trace[1:]))
+        assert result.final_utility >= trace[0]
+
+    def test_realistic_cost_dominates_idealized(self, toy_evaluator,
+                                                toy_network, c_upgrade):
+        """The paper's 27-vs-310-step gap: measuring every candidate
+        costs far more rounds than an oracle-guided climb."""
+        result = reactive_feedback(toy_evaluator, toy_network, c_upgrade,
+                                   [1])
+        assert result.realistic_steps >= result.idealized_steps
+        if result.idealized_steps > 0:
+            assert result.realistic_steps >= 2 * result.idealized_steps
+
+    def test_wall_clock_conversion(self, toy_evaluator, toy_network,
+                                   c_upgrade):
+        result = reactive_feedback(
+            toy_evaluator, toy_network, c_upgrade, [1],
+            FeedbackSettings(measurement_minutes=5.0))
+        assert result.idealized_hours == pytest.approx(
+            result.idealized_steps * 5.0 / 60.0)
+        assert result.realistic_hours >= result.idealized_hours
+
+    def test_max_steps_bound(self, toy_evaluator, toy_network, c_upgrade):
+        result = reactive_feedback(toy_evaluator, toy_network, c_upgrade,
+                                   [1], FeedbackSettings(max_steps=2))
+        assert result.idealized_steps <= 2
+
+    def test_power_only_mode(self, toy_evaluator, toy_network, c_upgrade):
+        result = reactive_feedback(
+            toy_evaluator, toy_network, c_upgrade, [1],
+            FeedbackSettings(include_tilt=False))
+        from repro.core.plan import Parameter
+        assert all(ch.parameter is Parameter.POWER
+                   for ch in result.changes)
+
+    def test_warm_start_needs_fewer_steps(self, toy_evaluator, toy_network,
+                                          c_upgrade):
+        """Future-work idea: seeding with the model's C_after leaves
+        little for feedback to do."""
+        cold = reactive_feedback(toy_evaluator, toy_network, c_upgrade, [1])
+        warm = reactive_feedback(toy_evaluator, toy_network,
+                                 cold.final_config, [1])
+        assert warm.idealized_steps <= cold.idealized_steps
+        assert warm.idealized_steps == 0     # already at the local optimum
+
+    def test_converged_state_has_no_improving_move(self, toy_evaluator,
+                                                   toy_network, c_upgrade):
+        result = reactive_feedback(toy_evaluator, toy_network, c_upgrade,
+                                   [1])
+        again = reactive_feedback(toy_evaluator, toy_network,
+                                  result.final_config, [1])
+        assert again.idealized_steps == 0

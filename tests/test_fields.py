@@ -1,0 +1,62 @@
+"""Unit tests for the correlated random fields."""
+
+import numpy as np
+import pytest
+
+from repro.model.fields import correlated_gaussian_field, power_law_field
+
+
+class TestCorrelatedGaussian:
+    def test_target_sigma(self):
+        rng = np.random.default_rng(0)
+        field = correlated_gaussian_field((64, 64), 3.0, 6.0, rng)
+        assert field.std() == pytest.approx(6.0)
+
+    def test_zero_sigma_is_exact_zeros(self):
+        rng = np.random.default_rng(0)
+        field = correlated_gaussian_field((16, 16), 3.0, 0.0, rng)
+        assert np.all(field == 0.0)
+
+    def test_negative_sigma_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            correlated_gaussian_field((8, 8), 1.0, -1.0, rng)
+
+    def test_correlation_increases_smoothness(self):
+        """Larger correlation length -> smaller lag-1 differences."""
+        rough = correlated_gaussian_field((96, 96), 0.0, 1.0,
+                                          np.random.default_rng(1))
+        smooth = correlated_gaussian_field((96, 96), 6.0, 1.0,
+                                           np.random.default_rng(1))
+        rough_diff = np.abs(np.diff(rough, axis=0)).mean()
+        smooth_diff = np.abs(np.diff(smooth, axis=0)).mean()
+        assert smooth_diff < rough_diff / 2.0
+
+    def test_deterministic_under_seed(self):
+        a = correlated_gaussian_field((32, 32), 2.0, 4.0,
+                                      np.random.default_rng(7))
+        b = correlated_gaussian_field((32, 32), 2.0, 4.0,
+                                      np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestPowerLaw:
+    def test_normalization(self):
+        field = power_law_field((64, 64), 3.2, np.random.default_rng(2))
+        assert field.mean() == pytest.approx(0.0, abs=1e-9)
+        assert field.std() == pytest.approx(1.0)
+
+    def test_higher_beta_is_smoother(self):
+        shallow = power_law_field((96, 96), 1.0, np.random.default_rng(3))
+        steep = power_law_field((96, 96), 4.0, np.random.default_rng(3))
+        assert (np.abs(np.diff(steep, axis=1)).mean()
+                < np.abs(np.diff(shallow, axis=1)).mean())
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            power_law_field((0, 10), 3.0, np.random.default_rng(0))
+
+    def test_real_valued(self):
+        field = power_law_field((33, 47), 2.5, np.random.default_rng(4))
+        assert np.isrealobj(field)
+        assert field.shape == (33, 47)

@@ -1,0 +1,127 @@
+"""Unit tests for grids, regions and coordinate conversions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.geometry import GridSpec, Region, PAPER_GRID_SIZE_M
+
+
+class TestRegion:
+    def test_dimensions(self):
+        r = Region(0.0, 0.0, 2_000.0, 1_000.0)
+        assert r.width == 2_000.0
+        assert r.height == 1_000.0
+        assert r.area == 2_000_000.0
+        assert r.center == (1_000.0, 500.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0.0, 0.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            Region(0.0, 100.0, 100.0, 50.0)
+
+    def test_contains_half_open(self):
+        r = Region(0.0, 0.0, 100.0, 100.0)
+        assert r.contains(0.0, 0.0)
+        assert r.contains(99.9, 99.9)
+        assert not r.contains(100.0, 50.0)
+        assert not r.contains(-0.1, 50.0)
+
+    def test_expanded_matches_paper_margins(self):
+        # 10 km tuning area inside a 30 km analysis area.
+        tuning = Region.square(10_000.0)
+        analysis = tuning.expanded(10_000.0)
+        assert analysis.width == 30_000.0
+        assert analysis.center == tuning.center
+
+    def test_expanded_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Region.square(100.0).expanded(-1.0)
+
+    def test_square_centering(self):
+        r = Region.square(500.0, center=(100.0, -200.0))
+        assert r.center == (100.0, -200.0)
+        assert r.width == 500.0
+
+
+class TestGridSpec:
+    def test_paper_scale(self):
+        """The paper's 60 km x 60 km sector raster is 600 x 600 grids."""
+        grid = GridSpec(Region.square(60_000.0),
+                        cell_size=PAPER_GRID_SIZE_M)
+        assert grid.shape == (600, 600)
+        assert grid.n_cells == 360_000
+
+    def test_cell_roundtrip(self):
+        grid = GridSpec(Region(0.0, 0.0, 1_000.0, 1_000.0), cell_size=100.0)
+        for x, y in [(50.0, 50.0), (550.0, 250.0), (999.0, 999.0)]:
+            row, col = grid.cell_of(x, y)
+            cx, cy = grid.center_of(row, col)
+            assert abs(cx - x) <= 50.0
+            assert abs(cy - y) <= 50.0
+
+    def test_cell_of_outside_raises(self):
+        grid = GridSpec(Region.square(1_000.0), cell_size=100.0)
+        with pytest.raises(ValueError):
+            grid.cell_of(1_000.0, 0.0)
+
+    def test_center_of_bad_cell_raises(self):
+        grid = GridSpec(Region.square(1_000.0), cell_size=100.0)
+        with pytest.raises(IndexError):
+            grid.center_of(10, 0)
+
+    def test_cell_centers_shape_and_values(self):
+        grid = GridSpec(Region(0.0, 0.0, 300.0, 200.0), cell_size=100.0)
+        gx, gy = grid.cell_centers()
+        assert gx.shape == (2, 3)
+        assert gx[0, 0] == 50.0 and gy[0, 0] == 50.0
+        assert gx[1, 2] == 250.0 and gy[1, 2] == 150.0
+
+    def test_distances_from_center(self):
+        grid = GridSpec(Region.square(1_000.0), cell_size=100.0)
+        d = grid.distances_from(0.0, 0.0)
+        assert d.shape == grid.shape
+        # Nearest cell center is (+-50, +-50) from the origin.
+        assert d.min() == pytest.approx(math.hypot(50.0, 50.0))
+
+    def test_bearings_convention(self):
+        grid = GridSpec(Region.square(2_000.0), cell_size=100.0)
+        b = grid.bearings_from(0.0, 0.0)
+        row, col = grid.cell_of(0.0, 900.0)      # due north
+        assert b[row, col] == pytest.approx(0.0, abs=5.0)
+        row, col = grid.cell_of(900.0, 0.0)      # due east
+        assert b[row, col] == pytest.approx(90.0, abs=5.0)
+        row, col = grid.cell_of(0.0, -900.0)     # due south
+        assert abs(b[row, col] - 180.0) < 5.0
+
+    def test_mask_of_region(self):
+        grid = GridSpec(Region.square(1_000.0), cell_size=100.0)
+        mask = grid.mask_of_region(Region.square(400.0))
+        assert mask.sum() == 16     # 4x4 inner cells
+        assert mask.shape == grid.shape
+
+    def test_flatten_index_row_major(self):
+        grid = GridSpec(Region(0.0, 0.0, 300.0, 200.0), cell_size=100.0)
+        assert grid.flatten_index(0, 0) == 0
+        assert grid.flatten_index(1, 2) == 5
+        with pytest.raises(IndexError):
+            grid.flatten_index(2, 0)
+
+    def test_iter_cells_covers_all(self):
+        grid = GridSpec(Region.square(300.0), cell_size=100.0)
+        cells = list(grid.iter_cells())
+        assert len(cells) == 9
+        assert cells[0] == (0, 0)
+        assert cells[-1] == (2, 2)
+
+    def test_bad_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(Region.square(100.0), cell_size=0.0)
+
+    def test_overhanging_last_cell(self):
+        grid = GridSpec(Region(0.0, 0.0, 250.0, 250.0), cell_size=100.0)
+        assert grid.shape == (3, 3)
+        # Point on the far edge of the overhanging cell still maps inside.
+        assert grid.cell_of(249.0, 249.0) == (2, 2)

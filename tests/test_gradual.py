@@ -1,0 +1,115 @@
+"""Unit tests for gradual migration and the direct comparator."""
+
+import pytest
+
+from repro.core.gradual import (GradualSettings, decompose_changes,
+                                gradual_migration, simulate_direct)
+from repro.core.joint import tune_joint
+from repro.core.plan import Parameter
+
+
+@pytest.fixture
+def planned(toy_evaluator, toy_network):
+    """A C_before / C_after pair from a real joint-tuning run."""
+    c_before = toy_network.planned_configuration()
+    baseline = toy_evaluator.state_of(c_before)
+    c_upgrade = c_before.with_offline([1])
+    result = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                        baseline, [1])
+    return c_before, result.final_config
+
+
+class TestGradualMigration:
+    def test_floor_invariant(self, toy_evaluator, toy_network, planned):
+        """The headline guarantee: utility never below f(C_after)."""
+        c_before, c_after = planned
+        result = gradual_migration(toy_evaluator, toy_network,
+                                   c_before, c_after, [1])
+        assert result.min_utility >= result.floor_utility - 1e-9
+
+    def test_ends_at_c_after(self, toy_evaluator, toy_network, planned):
+        c_before, c_after = planned
+        result = gradual_migration(toy_evaluator, toy_network,
+                                   c_before, c_after, [1])
+        assert result.final_config == c_after
+        assert not result.final_config.is_active(1)
+
+    def test_batches_align_with_steps(self, toy_evaluator, toy_network,
+                                      planned):
+        c_before, c_after = planned
+        result = gradual_migration(toy_evaluator, toy_network,
+                                   c_before, c_after, [1])
+        assert len(result.batches) == len(result.configs) - 1
+        assert len(result.utilities) == len(result.configs)
+
+    def test_peak_not_worse_than_direct(self, toy_evaluator, toy_network,
+                                        planned):
+        c_before, c_after = planned
+        gradual = gradual_migration(toy_evaluator, toy_network,
+                                    c_before, c_after, [1])
+        direct = simulate_direct(toy_evaluator, c_before, c_after)
+        assert gradual.stats().peak_simultaneous_ues <= \
+            direct.peak_simultaneous_ues + 1e-9
+
+    def test_seamless_fraction_at_least_direct(self, toy_evaluator,
+                                               toy_network, planned):
+        c_before, c_after = planned
+        gradual = gradual_migration(toy_evaluator, toy_network,
+                                    c_before, c_after, [1])
+        direct = simulate_direct(toy_evaluator, c_before, c_after)
+        assert gradual.stats().seamless_fraction >= \
+            direct.seamless_fraction - 1e-9
+
+    def test_target_power_ramps_down(self, toy_evaluator, toy_network,
+                                     planned):
+        c_before, c_after = planned
+        result = gradual_migration(
+            toy_evaluator, toy_network, c_before, c_after, [1],
+            GradualSettings(target_step_db=2.0))
+        powers = [c.power_dbm(1) for c in result.configs
+                  if c.is_active(1)]
+        assert all(b <= a for a, b in zip(powers, powers[1:]))
+
+    def test_rejects_online_targets(self, toy_evaluator, toy_network,
+                                    planned):
+        c_before, _ = planned
+        with pytest.raises(ValueError, match="off-air"):
+            gradual_migration(toy_evaluator, toy_network, c_before,
+                              c_before, [1])
+
+
+class TestDecomposeChanges:
+    def test_unit_granularity(self, toy_network, planned):
+        c_before, c_after = planned
+        moves = decompose_changes(c_before, c_after, [1], unit_db=1.0,
+                                  network=toy_network)
+        for m in moves:
+            if m.parameter is Parameter.POWER:
+                assert abs(m.delta) <= 1.0 + 1e-9
+            assert m.sector_id != 1
+
+    def test_moves_compose_to_c_after(self, toy_network, planned):
+        """Replaying all moves on C_before reaches C_after's neighbor
+        settings exactly."""
+        c_before, c_after = planned
+        moves = decompose_changes(c_before, c_after, [1], unit_db=1.0,
+                                  network=toy_network)
+        config = c_before
+        for m in moves:
+            if m.parameter is Parameter.POWER:
+                config = config.with_power(m.sector_id, m.new_value)
+            else:
+                config = config.with_tilt(m.sector_id, m.new_value)
+        for sid in range(toy_network.n_sectors):
+            if sid == 1:
+                continue
+            assert config.power_dbm(sid) == pytest.approx(
+                c_after.power_dbm(sid))
+            assert config.tilt_deg(sid) == pytest.approx(
+                c_after.tilt_deg(sid))
+
+    def test_no_changes_no_moves(self, toy_network):
+        c = toy_network.planned_configuration()
+        moves = decompose_changes(c, c.with_offline([1]), [1],
+                                  unit_db=1.0, network=toy_network)
+        assert moves == []

@@ -1,0 +1,126 @@
+"""Unit tests for attachment diffs, handover events and migration stats."""
+
+import numpy as np
+import pytest
+
+from repro.handover.attachment import attachment_diff
+from repro.handover.events import HandoverBatch, classify_batch
+from repro.handover.migration import (reduction_factor, summarize_batches)
+
+
+@pytest.fixture
+def transition(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    c_down = c_before.with_offline([1])
+    return (toy_evaluator.state_of(c_before),
+            toy_evaluator.state_of(c_down), c_down)
+
+
+class TestAttachmentDiff:
+    def test_outage_moves_target_ues(self, transition):
+        before, after, _ = transition
+        diff = attachment_diff(before, after)
+        target_pop = before.ue_density[before.serving == 1].sum()
+        moved_or_dropped = diff.handover_ues + diff.dropped_ues
+        assert moved_or_dropped == pytest.approx(target_pop, rel=0.01)
+
+    def test_sources_are_the_target(self, transition):
+        before, after, _ = transition
+        diff = attachment_diff(before, after)
+        assert set(diff.source_sectors) <= {1}
+        assert 1 not in set(diff.dest_sectors)
+
+    def test_identity_diff_empty(self, transition):
+        before, _, _ = transition
+        diff = attachment_diff(before, before)
+        assert diff.total_affected_ues == 0.0
+        assert diff.moved_grids == 0
+
+    def test_handovers_from(self, transition):
+        before, after, _ = transition
+        diff = attachment_diff(before, after)
+        assert diff.handovers_from(1) == pytest.approx(diff.handover_ues)
+        assert diff.handovers_from(0) == 0.0
+
+    def test_shape_mismatch_rejected(self, transition, toy_engine):
+        before, _, _ = transition
+        import dataclasses
+        other = dataclasses.replace(before,
+                                    serving=before.serving[:2, :2],
+                                    grid=before.grid)
+        with pytest.raises(ValueError):
+            attachment_diff(before, other)
+
+
+class TestClassifyBatch:
+    def test_hard_when_source_offline(self, transition):
+        before, after, c_down = transition
+        diff = attachment_diff(before, after)
+        batch = classify_batch(0, diff, c_down)
+        # Source (sector 1) is off-air in the new config: all hard.
+        assert batch.hard_ues == pytest.approx(diff.handover_ues)
+        assert batch.seamless_ues == 0.0
+        assert batch.seamless_fraction == 0.0
+
+    def test_seamless_when_source_online(self, toy_evaluator, toy_network):
+        """A pure power shift between online sectors is seamless."""
+        c = toy_network.planned_configuration()
+        shifted = c.with_power(0, 41.0).with_power(1, 30.0)
+        before = toy_evaluator.state_of(c)
+        after = toy_evaluator.state_of(shifted)
+        diff = attachment_diff(before, after)
+        batch = classify_batch(0, diff, shifted)
+        assert batch.hard_ues == 0.0
+        if batch.total_ues > 0:
+            assert batch.seamless_fraction == 1.0
+
+    def test_empty_batch_fraction(self):
+        batch = HandoverBatch(step_index=0, seamless_ues=0.0,
+                              hard_ues=0.0, dropped_ues=0.0)
+        assert batch.seamless_fraction == 1.0
+
+
+class TestMigrationStats:
+    def test_summary_aggregation(self):
+        batches = [
+            HandoverBatch(0, seamless_ues=10.0, hard_ues=0.0,
+                          dropped_ues=1.0),
+            HandoverBatch(1, seamless_ues=5.0, hard_ues=5.0,
+                          dropped_ues=0.0),
+        ]
+        stats = summarize_batches(batches)
+        assert stats.peak_simultaneous_ues == 10.0
+        assert stats.total_handover_ues == 20.0
+        assert stats.seamless_fraction == pytest.approx(15.0 / 20.0)
+        assert stats.dropped_ues == 1.0
+        assert stats.n_steps == 2
+
+    def test_empty_schedule(self):
+        stats = summarize_batches([])
+        assert stats.peak_simultaneous_ues == 0.0
+        assert stats.seamless_fraction == 1.0
+
+    def test_reduction_factor(self):
+        direct = summarize_batches(
+            [HandoverBatch(0, seamless_ues=0.0, hard_ues=80.0,
+                           dropped_ues=0.0)])
+        gradual = summarize_batches(
+            [HandoverBatch(i, seamless_ues=10.0, hard_ues=0.0,
+                           dropped_ues=0.0) for i in range(8)])
+        assert reduction_factor(direct, gradual) == 8.0
+
+    def test_reduction_factor_degenerate(self):
+        none = summarize_batches([])
+        direct = summarize_batches(
+            [HandoverBatch(0, seamless_ues=0.0, hard_ues=5.0,
+                           dropped_ues=0.0)])
+        assert reduction_factor(direct, none) == float("inf")
+        assert reduction_factor(none, none) == 1.0
+
+    def test_describe(self):
+        stats = summarize_batches(
+            [HandoverBatch(0, seamless_ues=10.0, hard_ues=2.0,
+                           dropped_ues=0.0)])
+        text = "\n".join(stats.describe())
+        assert "peak simultaneous handovers" in text
+        assert "seamless" in text

@@ -1,0 +1,157 @@
+"""Tests for small-cell underlays and multi-carrier deployments."""
+
+import numpy as np
+import pytest
+
+from repro.core.magus import Magus
+from repro.model.engine import AnalysisEngine
+from repro.model.geometry import Region
+from repro.model.load import uniform_per_sector_density
+from repro.model.pathloss import PathLossDatabase
+from repro.model.propagation import Environment
+from repro.synthetic.smallcells import add_small_cells, small_cell_antenna
+from repro.upgrades.multicarrier import (Carrier, CarrierDeployment,
+                                         MultiCarrierMagus)
+
+from conftest import make_sectors
+from repro.model.network import CellularNetwork
+
+
+class TestSmallCellAntenna:
+    def test_omnidirectional(self):
+        ant = small_cell_antenna()
+        gains = [float(ant.gain_db(phi, 0.0)) for phi in
+                 (0.0, 90.0, 180.0, 270.0)]
+        assert max(gains) - min(gains) < 1e-9
+
+
+class TestAddSmallCells:
+    @pytest.fixture
+    def macro(self):
+        return CellularNetwork(make_sectors(
+            [(-1_000.0, 0.0), (0.0, 0.0), (1_000.0, 0.0)],
+            azimuths=[270.0, 0.0, 90.0], power_dbm=35.0,
+            max_power_dbm=41.0))
+
+    def test_ids_preserved_and_extended(self, macro):
+        region = Region.square(2_000.0)
+        hetnet = add_small_cells(macro, region, n_cells=4, seed=1)
+        assert hetnet.n_sectors == macro.n_sectors + 4
+        for i in range(macro.n_sectors):
+            assert hetnet.sector(i).x == macro.sector(i).x
+        for i in range(macro.n_sectors, hetnet.n_sectors):
+            assert hetnet.sector(i).power_dbm == 30.0
+            assert region.contains(hetnet.sector(i).x,
+                                   hetnet.sector(i).y)
+
+    def test_own_sites(self, macro):
+        hetnet = add_small_cells(macro, Region.square(2_000.0),
+                                 n_cells=3, seed=2)
+        small_sites = {hetnet.sector(i).site_id
+                       for i in range(macro.n_sectors,
+                                      hetnet.n_sectors)}
+        macro_sites = {s.site_id for s in macro.sectors}
+        assert small_sites.isdisjoint(macro_sites)
+
+    def test_hotspot_placement(self, macro):
+        spots = [(100.0, 100.0), (-200.0, 300.0)]
+        hetnet = add_small_cells(macro, Region.square(2_000.0),
+                                 n_cells=2, hotspots=spots)
+        placed = [(hetnet.sector(i).x, hetnet.sector(i).y)
+                  for i in range(macro.n_sectors, hetnet.n_sectors)]
+        assert placed == spots
+        with pytest.raises(ValueError):
+            add_small_cells(macro, Region.square(2_000.0), n_cells=3,
+                            hotspots=spots)
+
+    def test_validation(self, macro):
+        with pytest.raises(ValueError):
+            add_small_cells(macro, Region.square(2_000.0), n_cells=0)
+
+    def test_small_cells_add_mitigation_capacity(self, macro, toy_grid):
+        """A macro outage recovers better when small cells can absorb
+        users — the HetNet payoff the paper's small-cell remark implies."""
+        env = Environment.flat(toy_grid)
+        hetnet = add_small_cells(
+            macro, Region.square(600.0), n_cells=2, seed=3,
+            hotspots=[(-150.0, 250.0), (150.0, 250.0)])
+
+        def recovery(network):
+            db = PathLossDatabase.from_environment(
+                network, env, shadowing_sigma_db=0.0)
+            engine = AnalysisEngine(db)
+            base = engine.evaluate(network.planned_configuration(),
+                                   np.zeros(toy_grid.shape))
+            density = uniform_per_sector_density(base, 90.0)
+            magus = Magus(network, engine, density)
+            return magus.plan_mitigation([1], tuning="power").recovery
+
+        assert recovery(hetnet) >= recovery(macro) - 0.05
+
+
+class TestMultiCarrier:
+    @pytest.fixture
+    def world(self, toy_grid):
+        net = CellularNetwork(make_sectors(
+            [(-1_000.0, 0.0), (0.0, 0.0), (1_000.0, 0.0)],
+            azimuths=[270.0, 0.0, 90.0], power_dbm=35.0,
+            max_power_dbm=41.0))
+        env = Environment.flat(toy_grid)
+        density = np.full(toy_grid.shape, 1.0)
+        return net, env, density
+
+    def _carriers(self):
+        return [Carrier("low-band", 700.0, 10.0, ue_share=0.4),
+                Carrier("mid-band", 2_635.0, 20.0, ue_share=0.6)]
+
+    def test_share_validation(self, world):
+        net, env, density = world
+        with pytest.raises(ValueError, match="sum"):
+            CarrierDeployment(net, env,
+                              [Carrier("a", 700.0, 10.0, 0.5)],
+                              density)
+        with pytest.raises(ValueError, match="unique"):
+            CarrierDeployment(net, env,
+                              [Carrier("a", 700.0, 10.0, 0.5),
+                               Carrier("a", 2_600.0, 10.0, 0.5)],
+                              density)
+
+    def test_low_band_reaches_further(self, world):
+        net, env, density = world
+        deployment = CarrierDeployment(net, env, self._carriers(),
+                                       density)
+        low = deployment.engine("low-band")
+        mid = deployment.engine("mid-band")
+        config = net.planned_configuration()
+        low_rp = low.evaluate(config, density).rp_best_dbm
+        mid_rp = mid.evaluate(config, density).rp_best_dbm
+        # ~20 log10(2635/700) ~ 11.5 dB advantage for the low band.
+        assert np.median(low_rp - mid_rp) > 8.0
+
+    def test_density_split(self, world):
+        net, env, density = world
+        deployment = CarrierDeployment(net, env, self._carriers(),
+                                       density)
+        total = deployment.density("low-band") + \
+            deployment.density("mid-band")
+        assert np.allclose(total, density)
+
+    def test_multicarrier_mitigation(self, world):
+        net, env, density = world
+        deployment = CarrierDeployment(net, env, self._carriers(),
+                                       density)
+        magus = MultiCarrierMagus(deployment)
+        plan = magus.plan_mitigation([1], tuning="power")
+        assert set(plan.per_carrier) == {"low-band", "mid-band"}
+        for p in plan.per_carrier.values():
+            assert p.f_after >= p.f_upgrade
+        assert 0.0 <= plan.aggregate_recovery <= 1.2
+        text = "\n".join(plan.describe())
+        assert "aggregate recovery" in text
+
+    def test_per_carrier_magus_accessible(self, world):
+        net, env, density = world
+        deployment = CarrierDeployment(net, env, self._carriers(),
+                                       density)
+        magus = MultiCarrierMagus(deployment)
+        assert magus.magus_for("low-band").network is net

@@ -1,0 +1,127 @@
+"""Integration tests: the full pipeline on a real (small) study area.
+
+These exercise the exact code paths the benches use — synthetic data
+-> model -> Magus -> handover accounting — and assert the paper's
+qualitative findings hold end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (build_convergence_timelines,
+                                    improvement_ratio)
+from repro.core.magus import Magus
+from repro.upgrades.scenario import UpgradeScenario, select_targets
+
+
+@pytest.fixture(scope="module")
+def planned(small_area_module):
+    area = small_area_module
+    magus = Magus.from_area(area)
+    targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
+    return area, magus, targets
+
+
+@pytest.fixture(scope="module")
+def small_area_module():
+    from conftest import SMALL_DIMS
+    from repro.synthetic.market import build_area
+    from repro.synthetic.placement import AreaType
+    return build_area(AreaType.SUBURBAN, seed=42, dims=SMALL_DIMS)
+
+
+class TestEndToEndMitigation:
+    def test_paper_utility_ordering(self, planned):
+        """f(C_before) > f(C_after) >= f(C_upgrade) (Section 2)."""
+        _, magus, targets = planned
+        plan = magus.plan_mitigation(targets, tuning="joint")
+        assert plan.f_before > plan.f_after
+        assert plan.f_after >= plan.f_upgrade
+        assert 0.0 <= plan.recovery <= 1.0
+
+    def test_joint_beats_individual_knobs(self, planned):
+        _, magus, targets = planned
+        recoveries = {t: magus.plan_mitigation(targets, tuning=t).recovery
+                      for t in ("power", "tilt", "joint")}
+        assert recoveries["joint"] >= recoveries["power"] - 1e-9
+        assert recoveries["joint"] >= recoveries["tilt"] - 1e-9
+
+    def test_magus_no_worse_than_naive(self, planned):
+        """Figure 13's headline: Algorithm 1 beats the naive sweep on
+        most scenarios; on this fixed scenario it must not lose."""
+        _, magus, targets = planned
+        magus_rec = magus.plan_mitigation(targets, tuning="power").recovery
+        naive_rec = magus.plan_mitigation(targets, tuning="naive").recovery
+        assert improvement_ratio(magus_rec, naive_rec) >= 0.9
+
+    def test_gradual_full_pipeline(self, planned):
+        _, magus, targets = planned
+        plan = magus.plan_mitigation(targets, tuning="joint")
+        gradual = magus.gradual_schedule(plan)
+        direct = magus.direct_migration_stats(plan)
+        stats = gradual.stats()
+        assert gradual.min_utility >= gradual.floor_utility - 1e-6
+        assert stats.peak_simultaneous_ues <= \
+            direct.peak_simultaneous_ues + 1e-9
+        assert stats.seamless_fraction >= direct.seamless_fraction
+
+    def test_convergence_ordering(self, planned):
+        """Figure 12: proactive model >= reactive model >= feedback >=
+        no tuning, pointwise over the timeline."""
+        _, magus, targets = planned
+        plan = magus.plan_mitigation(targets, tuning="joint")
+        feedback = magus.reactive_feedback_run(targets)
+        tl = build_convergence_timelines(
+            plan.f_before, plan.f_upgrade, plan.f_after,
+            feedback.utility_trace, total_ticks=10)
+        for i in range(len(tl.times)):
+            assert tl.proactive_model[i] >= tl.reactive_model[i] - 1e-9
+            assert tl.reactive_model[i] >= tl.no_tuning[i] - 1e-9
+            assert tl.reactive_feedback[i] >= tl.no_tuning[i] - 1e-9
+
+    def test_feedback_slower_than_model(self, planned):
+        """The reactive feedback approach needs many steps; the model
+        reaches its configuration in one."""
+        _, magus, targets = planned
+        feedback = magus.reactive_feedback_run(targets)
+        assert feedback.realistic_steps > 2 * feedback.idealized_steps \
+            or feedback.idealized_steps == 0
+
+    def test_cross_utility_recovery_table2(self, planned):
+        """Optimizing for one utility recovers little of the other."""
+        area, _, targets = planned
+        results = {}
+        for opt_name in ("performance", "coverage"):
+            magus = Magus.from_area(area, utility=opt_name)
+            plan = magus.plan_mitigation(targets, tuning="joint")
+            for score_name in ("performance", "coverage"):
+                ev = magus.evaluator
+                f_b = ev.rescore(plan.c_before, score_name)
+                f_u = ev.rescore(plan.c_upgrade, score_name)
+                f_a = ev.rescore(plan.c_after, score_name)
+                results[(opt_name, score_name)] = \
+                    plan.cross_recovery(f_b, f_u, f_a)
+        # Diagonal cells are proper recoveries.
+        assert results[("performance", "performance")] >= 0.0
+        # Cross cells cannot beat the cell optimized for that utility
+        # (up to coverage-plateau ties).
+        assert results[("coverage", "performance")] <= \
+            results[("performance", "performance")] + 1e-9
+
+
+class TestPopulationVariants:
+    def test_fine_grained_density_extension(self, small_area_module):
+        """The paper's future-work extension: a non-uniform population
+        flows through the same pipeline."""
+        from repro.model.load import density_from_field
+        from repro.synthetic.users import population_field
+        area = small_area_module
+        field = population_field(area.grid, area.environment.clutter,
+                                 seed=1)
+        density = density_from_field(area.baseline, field,
+                                     total_ues=area.ue_density.sum())
+        magus = Magus(area.network, area.engine, density,
+                      default_config=area.c_before)
+        targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
+        plan = magus.plan_mitigation(targets, tuning="power")
+        assert plan.f_after >= plan.f_upgrade

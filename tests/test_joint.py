@@ -1,0 +1,58 @@
+"""Unit tests for joint tilt-then-power tuning."""
+
+import pytest
+
+from repro.core.joint import tune_joint
+from repro.core.plan import Parameter
+from repro.core.search import tune_power
+from repro.core.tilt import tune_tilt
+
+
+@pytest.fixture
+def outage(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    baseline = toy_evaluator.state_of(c_before)
+    return c_before.with_offline([1]), baseline
+
+
+class TestJointTuning:
+    def test_at_least_as_good_as_tilt_alone(self, toy_evaluator,
+                                            toy_network, outage):
+        c_upgrade, baseline = outage
+        tilt_only = tune_tilt(toy_evaluator, toy_network, c_upgrade, [1])
+        joint = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                           baseline, [1])
+        assert joint.final_utility >= tilt_only.final_utility - 1e-9
+
+    def test_at_least_as_good_as_power_alone(self, toy_evaluator,
+                                             toy_network, outage):
+        """Table 1: joint always beats the individual knobs.  Power
+        starts from the tilted configuration, so the joint result can
+        only be >= the pure tilt pass; against pure power this holds on
+        the toy world (and in the paper's results)."""
+        c_upgrade, baseline = outage
+        power_only = tune_power(toy_evaluator, toy_network, c_upgrade,
+                                baseline, [1])
+        joint = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                           baseline, [1])
+        assert joint.final_utility >= power_only.final_utility - 1e-9
+
+    def test_trace_is_tilt_then_power(self, toy_evaluator, toy_network,
+                                      outage):
+        c_upgrade, baseline = outage
+        joint = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                           baseline, [1])
+        kinds = [ch.parameter for ch in joint.changes()]
+        if Parameter.POWER in kinds and Parameter.TILT in kinds:
+            first_power = kinds.index(Parameter.POWER)
+            assert all(k is Parameter.POWER for k in kinds[first_power:])
+
+    def test_initial_and_final_utilities_consistent(self, toy_evaluator,
+                                                    toy_network, outage):
+        c_upgrade, baseline = outage
+        joint = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                           baseline, [1])
+        assert joint.initial_utility == pytest.approx(
+            toy_evaluator.utility_of(c_upgrade))
+        assert joint.final_utility == pytest.approx(
+            toy_evaluator.utility_of(joint.final_config))

@@ -1,0 +1,101 @@
+"""Unit tests for the LTE link-adaptation tables and rate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.model.linkrate import (CQI_SINR_THRESHOLDS_DB, CQI_TABLE,
+                                  LinkAdaptation, PAPER_SINR_MIN_DB)
+
+
+class TestCqiTable:
+    def test_fifteen_entries(self):
+        assert len(CQI_TABLE) == 15
+        assert len(CQI_SINR_THRESHOLDS_DB) == 15
+
+    def test_known_rows_of_ts36213(self):
+        """Spot-check rows against TS 36.213 Table 7.2.3-1."""
+        assert CQI_TABLE[0].modulation == "QPSK"
+        assert CQI_TABLE[0].efficiency == pytest.approx(0.1523)
+        assert CQI_TABLE[6].modulation == "16QAM"
+        assert CQI_TABLE[6].code_rate_x1024 == 378
+        assert CQI_TABLE[14].modulation == "64QAM"
+        assert CQI_TABLE[14].efficiency == pytest.approx(5.5547)
+
+    def test_efficiency_monotone(self):
+        effs = [e.efficiency for e in CQI_TABLE]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+    def test_thresholds_monotone(self):
+        t = CQI_SINR_THRESHOLDS_DB
+        assert all(b > a for a, b in zip(t, t[1:]))
+
+
+class TestLinkAdaptation:
+    def test_prb_count_10mhz(self):
+        assert LinkAdaptation(bandwidth_mhz=10.0).n_prb == 50
+        assert LinkAdaptation(bandwidth_mhz=20.0).n_prb == 100
+
+    def test_cqi_for_sinr_boundaries(self):
+        link = LinkAdaptation()
+        assert link.cqi_for_sinr(-10.0) == 0
+        assert link.cqi_for_sinr(CQI_SINR_THRESHOLDS_DB[0]) == 1
+        assert link.cqi_for_sinr(100.0) == 15
+
+    def test_cqi_vectorized(self):
+        link = LinkAdaptation()
+        cqi = link.cqi_for_sinr(np.asarray([-10.0, 0.0, 12.0, 30.0]))
+        assert list(cqi) == [0, 3, 10, 15]
+
+    def test_peak_rate_scale(self):
+        """10 MHz 64QAM peak should land in the tens of Mb/s."""
+        link = LinkAdaptation(bandwidth_mhz=10.0)
+        assert 25e6 < link.peak_rate_bps < 50e6
+
+    def test_rate_monotone_in_sinr(self):
+        link = LinkAdaptation()
+        sinrs = np.linspace(-10.0, 30.0, 100)
+        rates = link.max_rate_bps(sinrs)
+        assert np.all(np.diff(rates) >= 0)
+
+    def test_out_of_service_cutoff(self):
+        link = LinkAdaptation(sinr_min_db=PAPER_SINR_MIN_DB)
+        assert link.max_rate_bps(PAPER_SINR_MIN_DB - 0.1) == 0.0
+        assert link.max_rate_bps(PAPER_SINR_MIN_DB + 0.1) > 0.0
+
+    def test_high_custom_threshold(self):
+        """The paper deliberately uses a high SINR_min for Figure 4."""
+        strict = LinkAdaptation(sinr_min_db=10.0)
+        assert strict.max_rate_bps(5.0) == 0.0
+        assert strict.max_rate_bps(12.0) > 0.0
+        # But CQI itself is unaffected (it's a service policy cutoff).
+        assert strict.cqi_for_sinr(5.0) > 0
+
+    def test_rate_for_cqi_matches_table(self):
+        link = LinkAdaptation(bandwidth_mhz=10.0)
+        for entry in CQI_TABLE:
+            expected = (entry.efficiency
+                        * link.resource_elements_per_tti / 1e-3)
+            assert link.rate_for_cqi(entry.cqi) == pytest.approx(expected)
+
+    def test_rate_for_cqi_zero_and_bounds(self):
+        link = LinkAdaptation()
+        assert link.rate_for_cqi(0) == 0.0
+        with pytest.raises(ValueError):
+            link.rate_for_cqi(16)
+        with pytest.raises(ValueError):
+            link.rate_for_cqi(-1)
+
+    def test_spectral_efficiency(self):
+        link = LinkAdaptation()
+        assert link.spectral_efficiency(-20.0) == 0.0
+        assert link.spectral_efficiency(100.0) == pytest.approx(5.5547)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            LinkAdaptation(bandwidth_mhz=0.0)
+
+    def test_describe_rows(self):
+        rows = LinkAdaptation().describe()
+        assert len(rows) == 15
+        assert "QPSK" in rows[0]
+        assert "64QAM" in rows[-1]

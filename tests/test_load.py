@@ -1,0 +1,77 @@
+"""Unit tests for UE population rasters (uniform and fine-grained)."""
+
+import numpy as np
+import pytest
+
+from repro.model.load import (density_from_field,
+                              uniform_per_sector_density)
+
+
+@pytest.fixture
+def baseline(toy_engine, toy_network):
+    return toy_engine.evaluate(toy_network.planned_configuration(),
+                               np.zeros(toy_engine.grid.shape))
+
+
+class TestUniformPerSector:
+    def test_totals_match(self, baseline):
+        density = uniform_per_sector_density(baseline, 120.0)
+        for sid in baseline.config.active_sector_ids():
+            mask = baseline.serving == sid
+            if mask.any():
+                assert density[mask].sum() == pytest.approx(120.0)
+
+    def test_uniform_within_footprint(self, baseline):
+        """The paper's assumption: equal UE count in every served grid."""
+        density = uniform_per_sector_density(baseline, 90.0)
+        for sid in baseline.config.active_sector_ids():
+            vals = density[baseline.serving == sid]
+            if vals.size:
+                assert np.allclose(vals, vals[0])
+
+    def test_per_sector_mapping(self, baseline):
+        density = uniform_per_sector_density(
+            baseline, {0: 50.0, 1: 100.0, 2: 0.0})
+        assert density[baseline.serving == 0].sum() == pytest.approx(50.0)
+        assert density[baseline.serving == 1].sum() == pytest.approx(100.0)
+        assert density[baseline.serving == 2].sum() == 0.0
+
+    def test_missing_sector_defaults_to_zero(self, baseline):
+        density = uniform_per_sector_density(baseline, {0: 10.0})
+        assert density[baseline.serving == 1].sum() == 0.0
+
+    def test_negative_count_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            uniform_per_sector_density(baseline, {0: -1.0})
+
+    def test_holes_get_zero(self, baseline):
+        density = uniform_per_sector_density(baseline, 10.0)
+        assert np.all(density[baseline.serving < 0] == 0.0)
+
+
+class TestDensityFromField:
+    def test_renormalization(self, baseline):
+        field = np.ones(baseline.grid.shape)
+        density = density_from_field(baseline, field, total_ues=500.0)
+        assert density.sum() == pytest.approx(500.0)
+
+    def test_restricted_to_coverage(self, baseline):
+        field = np.ones(baseline.grid.shape)
+        density = density_from_field(baseline, field)
+        assert np.all(density[~baseline.covered_mask()] == 0.0)
+
+    def test_shape_and_sign_validation(self, baseline):
+        with pytest.raises(ValueError):
+            density_from_field(baseline, np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            density_from_field(baseline,
+                               -np.ones(baseline.grid.shape))
+
+    def test_preserves_relative_weights(self, baseline):
+        field = np.ones(baseline.grid.shape)
+        field[0, 0] = 5.0      # a hotspot (if covered)
+        density = density_from_field(baseline, field, total_ues=100.0)
+        covered = baseline.covered_mask()
+        if covered[0, 0]:
+            others = density[covered & (field == 1.0)]
+            assert density[0, 0] == pytest.approx(5.0 * others[0])

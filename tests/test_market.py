@@ -1,0 +1,94 @@
+"""Tests for study-area construction (the Section-6 evaluation setup)."""
+
+import numpy as np
+import pytest
+
+from repro.core.planning import PlanningSettings
+from repro.synthetic.market import (AreaDimensions, MARKET_NAMES,
+                                    build_area, build_market)
+from repro.synthetic.placement import AreaType
+
+from conftest import SMALL_DIMS
+
+
+class TestBuildArea:
+    def test_regions_nested(self, small_area):
+        t, a = small_area.tuning_region, small_area.analysis_region
+        assert a.x0 < t.x0 and a.x1 > t.x1
+        assert a.y0 < t.y0 and a.y1 > t.y1
+
+    def test_baseline_under_planned_config(self, small_area):
+        assert small_area.baseline.config == small_area.planned_config
+        assert small_area.c_before == small_area.planned_config
+
+    def test_density_anchored_to_footprints(self, small_area):
+        """Every served grid carries population; holes carry none."""
+        baseline = small_area.baseline
+        assert np.all(
+            small_area.ue_density[baseline.serving < 0] == 0.0)
+        assert small_area.ue_density.sum() > 0
+
+    def test_planned_config_is_locally_optimal_for_power(self, small_area):
+        """The planning pass leaves no single 1 dB power move on the
+        table (the premise behind meaningful recovery ratios)."""
+        from repro.core.evaluation import Evaluator
+        ev = Evaluator(small_area.engine, small_area.ue_density)
+        f_star = ev.utility_of(small_area.planned_config)
+        for sid in range(min(small_area.network.n_sectors, 6)):
+            sector = small_area.network.sector(sid)
+            for delta in (1.0, -1.0):
+                p = small_area.planned_config.power_dbm(sid) + delta
+                if not sector.min_power_dbm <= p <= sector.max_power_dbm:
+                    continue
+                trial = small_area.planned_config.with_power(sid, p)
+                assert ev.utility_of(trial) <= f_star + 1e-9
+
+    def test_reproducible(self):
+        a = build_area(AreaType.SUBURBAN, seed=42, dims=SMALL_DIMS)
+        b = build_area(AreaType.SUBURBAN, seed=42, dims=SMALL_DIMS)
+        assert a.planned_config == b.planned_config
+        assert np.array_equal(a.ue_density, b.ue_density)
+
+    def test_skip_planning(self):
+        area = build_area(AreaType.SUBURBAN, seed=1, dims=SMALL_DIMS,
+                          planning=PlanningSettings(max_passes=0))
+        assert area.planned_config == \
+            area.network.planned_configuration()
+
+    def test_evaluate_helper(self, small_area):
+        state = small_area.evaluate(small_area.c_before)
+        assert state.config == small_area.c_before
+
+    def test_interferer_stats_positive(self, small_area):
+        assert small_area.interferer_stats() > 0
+
+
+class TestDimensions:
+    def test_density_regimes_ordered(self):
+        rural = AreaDimensions.for_area(AreaType.RURAL)
+        urban = AreaDimensions.for_area(AreaType.URBAN)
+        assert rural.tuning_side_m > urban.tuning_side_m
+
+    def test_custom_dims_respected(self):
+        dims = AreaDimensions(tuning_side_m=1_000.0, margin_m=500.0,
+                              cell_size_m=250.0)
+        area = build_area(AreaType.URBAN, seed=0, dims=dims,
+                          planning=PlanningSettings(max_passes=0))
+        assert area.grid.cell_size == 250.0
+        assert area.analysis_region.width == pytest.approx(2_000.0)
+
+
+class TestMarket:
+    def test_market_names(self):
+        assert len(MARKET_NAMES) == 3
+        with pytest.raises(ValueError):
+            build_market(5)
+
+    @pytest.mark.slow
+    def test_build_market_has_three_area_types(self):
+        dims = {at: SMALL_DIMS for at in AreaType}
+        market = build_market(0, dims_overrides=dims)
+        assert set(market.areas) == set(AreaType)
+        assert market.name == MARKET_NAMES[0]
+        for at in AreaType:
+            assert market.area(at).area_type is at

@@ -1,0 +1,117 @@
+"""Unit tests for the per-sector, per-tilt path-loss database."""
+
+import numpy as np
+import pytest
+
+from repro.model.geometry import GridSpec, Region
+from repro.model.network import CellularNetwork
+from repro.model.pathloss import PathLossDatabase
+from repro.model.propagation import Environment
+
+from conftest import make_sectors
+
+
+@pytest.fixture
+def world():
+    grid = GridSpec(Region.square(3_000.0), cell_size=200.0)
+    env = Environment.flat(grid)
+    net = CellularNetwork(make_sectors(
+        [(-800.0, 0.0), (800.0, 0.0)], azimuths=[90.0, 270.0]))
+    return grid, env, net
+
+
+class TestConstruction:
+    def test_shapes_and_sign(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        for i in range(net.n_sectors):
+            m = db.gain_matrix(i, net.sector(i).planned_tilt_deg)
+            assert m.shape == grid.shape
+            assert np.all(m < 0)
+
+    def test_per_sector_shadowing_differs(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=6.0, seed=3)
+        nodb = PathLossDatabase.from_environment(net, env,
+                                                 shadowing_sigma_db=0.0,
+                                                 seed=3)
+        d0 = db.gain_matrix(0, 4.0) - nodb.gain_matrix(0, 4.0)
+        d1 = db.gain_matrix(1, 4.0) - nodb.gain_matrix(1, 4.0)
+        # Both sectors are shadowed, but independently.
+        assert d0.std() > 1.0 and d1.std() > 1.0
+        assert not np.allclose(d0, d1)
+
+    def test_seed_reproducibility(self, world):
+        grid, env, net = world
+        a = PathLossDatabase.from_environment(net, env, seed=9)
+        b = PathLossDatabase.from_environment(net, env, seed=9)
+        assert np.array_equal(a.gain_matrix(0, 4.0), b.gain_matrix(0, 4.0))
+
+    def test_bad_tilt_model_rejected(self, world):
+        grid, env, net = world
+        with pytest.raises(ValueError):
+            PathLossDatabase.from_environment(net, env,
+                                              tilt_model="nonsense")
+
+
+class TestTiltModels:
+    def test_uptilt_gains_far_loses_near(self, world):
+        """Figure 7(c): an uptilt shifts energy toward distant grids."""
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        sector = net.sector(0)     # at (-800, 0) facing east
+        planned = db.gain_matrix(0, sector.planned_tilt_deg)
+        uptilted = db.gain_matrix(0, 0.0)
+        far = grid.cell_of(1_400.0, 0.0)       # 2.2 km out, boresight
+        near = grid.cell_of(-700.0, 0.0)       # 100 m from the mast
+        assert uptilted[far] > planned[far]
+        assert uptilted[near] <= planned[near] + 1e-9
+
+    def test_shared_delta_approximates_exact(self, world):
+        """The paper's shared change-matrix is a *coarse* approximation:
+        it must agree in sign and rough size along the boresight."""
+        grid, env, net = world
+        exact = PathLossDatabase.from_environment(
+            net, env, shadowing_sigma_db=0.0, tilt_model="exact")
+        approx = PathLossDatabase.from_environment(
+            net, env, shadowing_sigma_db=0.0, tilt_model="shared-delta")
+        e = exact.gain_matrix(0, 1.0) - exact.gain_matrix(0, 4.0)
+        a = approx.gain_matrix(0, 1.0) - approx.gain_matrix(0, 4.0)
+        far = grid.cell_of(1_400.0, 0.0)
+        assert np.sign(e[far]) == np.sign(a[far])
+        assert abs(e[far] - a[far]) < 3.0
+
+    def test_gain_tensor_matches_matrices(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        tilts = np.asarray([2.0, 6.0])
+        tensor = db.gain_tensor(tilts)
+        assert tensor.shape == (2,) + grid.shape
+        assert np.array_equal(tensor[0], db.gain_matrix(0, 2.0))
+        assert np.array_equal(tensor[1], db.gain_matrix(1, 6.0))
+
+    def test_gain_tensor_cache_hit(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env)
+        tilts = np.asarray([4.0, 4.0])
+        first = db.gain_tensor(tilts)
+        second = db.gain_tensor(tilts.copy())
+        assert first is second     # memoized by value
+
+    def test_tensor_wrong_length_rejected(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env)
+        with pytest.raises(ValueError):
+            db.gain_tensor(np.asarray([4.0]))
+
+    def test_distance_matrix(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env)
+        d = db.distance_matrix(0)
+        assert d.shape == grid.shape
+        row, col = grid.cell_of(-800.0, 0.0)
+        assert d[row, col] < 200.0

@@ -1,0 +1,54 @@
+"""Unit tests for the offline planning pass."""
+
+import pytest
+
+from repro.core.planning import PlanningSettings, optimize_planned_configuration
+
+
+class TestPlanning:
+    def test_never_reduces_utility(self, toy_evaluator, toy_network):
+        start = toy_network.planned_configuration()
+        planned = optimize_planned_configuration(
+            toy_evaluator, toy_network, start)
+        assert toy_evaluator.utility_of(planned) >= \
+            toy_evaluator.utility_of(start)
+
+    def test_result_is_single_move_local_optimum(self, toy_evaluator,
+                                                 toy_network):
+        """After planning, no single power step improves the utility —
+        the fixed point that makes recovery ratios meaningful."""
+        planned = optimize_planned_configuration(
+            toy_evaluator, toy_network,
+            toy_network.planned_configuration(),
+            PlanningSettings(max_passes=10))
+        f_star = toy_evaluator.utility_of(planned)
+        for sid in range(toy_network.n_sectors):
+            sector = toy_network.sector(sid)
+            for delta in (1.0, -1.0):
+                power = planned.power_dbm(sid) + delta
+                if not (sector.min_power_dbm <= power
+                        <= sector.max_power_dbm):
+                    continue
+                trial = planned.with_power(sid, power)
+                assert toy_evaluator.utility_of(trial) <= f_star + 1e-9
+
+    def test_zero_passes_is_identity(self, toy_evaluator, toy_network):
+        start = toy_network.planned_configuration()
+        planned = optimize_planned_configuration(
+            toy_evaluator, toy_network, start,
+            PlanningSettings(max_passes=0))
+        assert planned == start
+
+    def test_power_only_mode_keeps_tilts(self, toy_evaluator, toy_network):
+        start = toy_network.planned_configuration()
+        planned = optimize_planned_configuration(
+            toy_evaluator, toy_network, start,
+            PlanningSettings(include_tilt=False))
+        for sid in range(toy_network.n_sectors):
+            assert planned.tilt_deg(sid) == start.tilt_deg(sid)
+
+    def test_offline_sectors_untouched(self, toy_evaluator, toy_network):
+        start = toy_network.planned_configuration().with_offline([2])
+        planned = optimize_planned_configuration(
+            toy_evaluator, toy_network, start)
+        assert planned.settings[2] == start.settings[2]

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: link adaptation monotonicity, configuration algebra,
+recovery-ratio bounds, SINR physics, attenuator semantics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import empirical_cdf, improvement_ratio
+from repro.core.plan import recovery_ratio
+from repro.model.antenna import AntennaPattern, TiltRange
+from repro.model.geometry import GridSpec, Region
+from repro.model.linkrate import LinkAdaptation
+from repro.model.network import CellularNetwork
+from repro.testbed.channel import AttenuatorSpec
+
+from conftest import make_sectors
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestLinkAdaptationProperties:
+    @given(st.floats(min_value=-40.0, max_value=60.0),
+           st.floats(min_value=-40.0, max_value=60.0))
+    def test_rate_monotone(self, a, b):
+        link = LinkAdaptation()
+        lo, hi = min(a, b), max(a, b)
+        assert link.max_rate_bps(lo) <= link.max_rate_bps(hi)
+
+    @given(st.floats(min_value=-40.0, max_value=60.0))
+    def test_cqi_in_range(self, sinr):
+        cqi = int(LinkAdaptation().cqi_for_sinr(sinr))
+        assert 0 <= cqi <= 15
+
+    @given(st.floats(min_value=1.4, max_value=20.0))
+    def test_rate_scales_with_bandwidth(self, mhz):
+        wide = LinkAdaptation(bandwidth_mhz=mhz)
+        narrow = LinkAdaptation(bandwidth_mhz=1.4)
+        assert wide.max_rate_bps(20.0) >= narrow.max_rate_bps(20.0)
+
+
+class TestRecoveryRatioProperties:
+    @given(finite, finite, finite)
+    def test_ratio_is_finite_when_degraded(self, f_b, f_u, f_a):
+        if f_b - f_u > 1e-9:
+            r = recovery_ratio(f_b, f_u, f_a)
+            assert math.isfinite(r)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6))
+    def test_full_recovery_is_one(self, f_b, f_u):
+        if f_b > f_u + 1e-6:
+            assert recovery_ratio(f_b, f_u, f_b) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=-1e6, max_value=1e6),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_f_after(self, f_b, f_u, t):
+        if f_b > f_u + 1e-6:
+            mid = f_u + t * (f_b - f_u)
+            assert recovery_ratio(f_b, f_u, mid) <= \
+                recovery_ratio(f_b, f_u, f_b) + 1e-9
+
+
+class TestConfigurationAlgebra:
+    @st.composite
+    def config_and_sector(draw):
+        n = draw(st.integers(min_value=1, max_value=6))
+        positions = [(float(i) * 500.0, 0.0) for i in range(n)]
+        net = CellularNetwork(make_sectors(positions))
+        sid = draw(st.integers(min_value=0, max_value=n - 1))
+        return net.planned_configuration(), sid
+
+    @given(config_and_sector(),
+           st.floats(min_value=10.0, max_value=46.0))
+    def test_with_power_roundtrip(self, cs, power):
+        config, sid = cs
+        original = config.power_dbm(sid)
+        there = config.with_power(sid, power)
+        back = there.with_power(sid, original)
+        assert back == config
+
+    @given(config_and_sector())
+    def test_offline_online_inverse(self, cs):
+        config, sid = cs
+        assert config.with_offline([sid]).with_online([sid]) == config
+
+    @given(config_and_sector(),
+           st.floats(min_value=-5.0, max_value=20.0))
+    def test_power_delta_never_exceeds_cap(self, cs, delta):
+        config, sid = cs
+        capped = config.with_power_delta(sid, delta, max_power_dbm=46.0)
+        assert capped.power_dbm(sid) <= 46.0 + 1e-9
+
+    @given(config_and_sector())
+    def test_diff_reflexive_empty(self, cs):
+        config, _ = cs
+        assert config.diff(config) == {}
+
+
+class TestGeometryProperties:
+    @given(st.floats(min_value=200.0, max_value=50_000.0),
+           st.floats(min_value=50.0, max_value=1_000.0))
+    def test_grid_covers_region(self, side, cell):
+        grid = GridSpec(Region.square(side), cell_size=cell)
+        assert grid.n_rows * grid.cell_size >= grid.region.height - 1e-6
+        assert grid.n_cols * grid.cell_size >= grid.region.width - 1e-6
+
+    @given(st.floats(min_value=-900.0, max_value=899.0),
+           st.floats(min_value=-900.0, max_value=899.0))
+    def test_cell_of_always_valid(self, x, y):
+        grid = GridSpec(Region.square(1_800.0), cell_size=130.0)
+        row, col = grid.cell_of(x, y)
+        assert 0 <= row < grid.n_rows
+        assert 0 <= col < grid.n_cols
+
+
+class TestAntennaProperties:
+    @given(st.floats(min_value=-360.0, max_value=360.0),
+           st.floats(min_value=-90.0, max_value=90.0),
+           st.floats(min_value=0.0, max_value=10.0))
+    def test_gain_bounded(self, phi, theta, tilt):
+        ant = AntennaPattern()
+        g = float(ant.gain_db(phi, theta, tilt))
+        assert ant.gain_dbi - ant.front_back_db <= g <= ant.gain_dbi
+
+    @given(st.floats(min_value=0.0, max_value=8.0))
+    def test_tilt_clamp_idempotent(self, tilt):
+        tr = TiltRange(normal_deg=4.0, min_deg=0.0, max_deg=8.0,
+                       step_deg=0.5)
+        snapped = tr.clamp(tilt)
+        assert tr.clamp(snapped) == snapped
+        assert tr.min_deg <= snapped <= tr.max_deg
+
+
+class TestAttenuatorProperties:
+    @given(st.integers(min_value=1, max_value=30))
+    def test_power_monotone_in_level(self, level):
+        spec = AttenuatorSpec()
+        if level < 30:
+            assert spec.power_dbm(level) > spec.power_dbm(level + 1)
+        assert spec.power_dbm(level) <= spec.max_power_dbm
+
+
+class TestMetricsProperties:
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                    min_size=1, max_size=50))
+    def test_cdf_properties(self, values):
+        xs, ps = empirical_cdf(values)
+        assert len(xs) == len(values)
+        assert np.all(np.diff(xs) >= 0)
+        assert np.all(np.diff(ps) > 0)
+        assert ps[-1] == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=0.001, max_value=10.0))
+    def test_improvement_ratio_sign(self, magus, naive):
+        r = improvement_ratio(magus, naive)
+        assert r >= 0.0
+        assert math.isfinite(r)

@@ -1,0 +1,157 @@
+"""Failure-injection and adversarial-input tests across modules.
+
+A production library must fail loudly on corrupt inputs and keep its
+invariants under degenerate (but legal) ones.  These tests poke the
+seams: NaN path loss, zero UE populations, single-sector networks,
+upgrades of every sector at once, and pathological search settings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.gradual import GradualSettings, gradual_migration
+from repro.core.magus import Magus
+from repro.core.search import PowerSearchSettings, tune_power
+from repro.model.engine import AnalysisEngine
+from repro.model.geometry import GridSpec, Region
+from repro.model.network import CellularNetwork
+from repro.model.pathloss import PathLossDatabase
+from repro.model.propagation import Environment
+
+from conftest import make_sectors
+
+
+class TestDegeneratePopulations:
+    def test_zero_population_everywhere(self, toy_engine, toy_network):
+        """No UEs: utilities are zero, nothing crashes, recovery is
+        the defined no-degradation value."""
+        magus = Magus(toy_network, toy_engine,
+                      np.zeros(toy_engine.grid.shape))
+        plan = magus.plan_mitigation([1], tuning="power")
+        assert plan.f_before == 0.0
+        assert plan.recovery == 1.0          # nothing lost, nothing won
+
+    def test_population_in_one_grid(self, toy_engine, toy_network):
+        density = np.zeros(toy_engine.grid.shape)
+        density[7, 7] = 500.0
+        magus = Magus(toy_network, toy_engine, density)
+        plan = magus.plan_mitigation([1], tuning="power")
+        assert np.isfinite(plan.f_before)
+        assert plan.f_before >= plan.f_upgrade
+
+
+class TestDegenerateTopologies:
+    def test_single_sector_network(self, toy_grid):
+        net = CellularNetwork(make_sectors([(0.0, 0.0)]))
+        env = Environment.flat(toy_grid)
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        engine = AnalysisEngine(db)
+        density = np.full(toy_grid.shape, 1.0)
+        magus = Magus(net, engine, density)
+        # Upgrading the only sector: no neighbors, zero recovery.
+        plan = magus.plan_mitigation([0], tuning="power")
+        assert plan.f_upgrade == 0.0          # all coverage gone
+        assert plan.recovery == pytest.approx(0.0)
+        assert plan.tuning.n_steps == 0
+
+    def test_all_sectors_upgraded(self, toy_engine, toy_network,
+                                  toy_density):
+        magus = Magus(toy_network, toy_engine, toy_density)
+        plan = magus.plan_mitigation([0, 1, 2], tuning="power")
+        assert plan.f_upgrade == 0.0
+        assert plan.f_after == 0.0            # nobody left to tune
+
+
+class TestCorruptInputs:
+    def test_nan_density_rejected_by_utility(self, toy_engine,
+                                             toy_network):
+        density = np.full(toy_engine.grid.shape, np.nan)
+        with pytest.raises(ValueError, match="finite"):
+            toy_engine.evaluate(toy_network.planned_configuration(),
+                                density)
+
+    def test_mismatched_network_and_config(self, toy_engine):
+        other = CellularNetwork(make_sectors([(0.0, 0.0),
+                                              (500.0, 0.0)]))
+        with pytest.raises(ValueError):
+            toy_engine.evaluate(other.planned_configuration(),
+                                np.zeros(toy_engine.grid.shape))
+
+
+class TestPathologicalSearchSettings:
+    def test_zero_iteration_budget(self, toy_evaluator, toy_network):
+        c_before = toy_network.planned_configuration()
+        baseline = toy_evaluator.state_of(c_before)
+        result = tune_power(toy_evaluator, toy_network,
+                            c_before.with_offline([1]), baseline, [1],
+                            PowerSearchSettings(max_iterations=0))
+        assert result.n_steps == 0
+        assert result.final_config == c_before.with_offline([1])
+
+    def test_huge_unit_still_respects_caps(self, toy_evaluator,
+                                           toy_network):
+        c_before = toy_network.planned_configuration()
+        baseline = toy_evaluator.state_of(c_before)
+        result = tune_power(toy_evaluator, toy_network,
+                            c_before.with_offline([1]), baseline, [1],
+                            PowerSearchSettings(unit_db=50.0,
+                                                max_unit_db=50.0))
+        for sid in range(toy_network.n_sectors):
+            assert result.final_config.power_dbm(sid) <= \
+                toy_network.sector(sid).max_power_dbm + 1e-9
+
+    def test_tiny_neighbor_radius_means_no_moves(self, toy_evaluator,
+                                                 toy_network):
+        c_before = toy_network.planned_configuration()
+        baseline = toy_evaluator.state_of(c_before)
+        result = tune_power(toy_evaluator, toy_network,
+                            c_before.with_offline([1]), baseline, [1],
+                            PowerSearchSettings(neighbor_radius_m=1.0))
+        assert result.n_steps == 0
+        assert result.termination == "power-exhausted"
+
+
+class TestGradualEdgeCases:
+    def test_gradual_with_no_compensation_moves(self, toy_evaluator,
+                                                toy_network):
+        """C_after == C_upgrade (no tuning found anything): the ramp
+        still runs and the floor still holds."""
+        c_before = toy_network.planned_configuration()
+        c_after = c_before.with_offline([1])
+        result = gradual_migration(toy_evaluator, toy_network,
+                                   c_before, c_after, [1],
+                                   GradualSettings(target_step_db=5.0))
+        assert result.final_config == c_after
+        assert result.min_utility >= result.floor_utility - 1e-9
+
+    def test_gradual_single_giant_step(self, toy_evaluator, toy_network):
+        """A ramp step bigger than the whole power range degenerates to
+        (at most) two transitions without violating invariants."""
+        from repro.core.joint import tune_joint
+        c_before = toy_network.planned_configuration()
+        baseline = toy_evaluator.state_of(c_before)
+        plan = tune_joint(toy_evaluator, toy_network,
+                          c_before.with_offline([1]), baseline, [1])
+        result = gradual_migration(toy_evaluator, toy_network,
+                                   c_before, plan.final_config, [1],
+                                   GradualSettings(target_step_db=100.0))
+        assert result.final_config == plan.final_config
+        assert result.min_utility >= result.floor_utility - 1e-9
+
+
+class TestEvaluatorIsolation:
+    def test_parallel_evaluators_do_not_interfere(self, toy_engine,
+                                                  toy_network,
+                                                  toy_density):
+        """Two evaluators over the same engine stay consistent — the
+        engine is stateless apart from instrumentation."""
+        a = Evaluator(toy_engine, toy_density, "performance")
+        b = Evaluator(toy_engine, toy_density * 2.0, "performance")
+        config = toy_network.planned_configuration()
+        fa1 = a.utility_of(config)
+        fb = b.utility_of(config)
+        fa2 = a.utility_of(config)
+        assert fa1 == fa2
+        assert fb != fa1

@@ -1,0 +1,116 @@
+"""Tests for upgrade-window scheduling against the diurnal profile."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.upgrades.scheduling import (DiurnalLoadProfile,
+                                       MaintenanceWindow,
+                                       SchedulingConstraints,
+                                       UpgradeScheduler,
+                                       estimate_window_impact)
+
+MONDAY = dt.datetime(2015, 6, 1)          # a Monday
+
+
+@pytest.fixture
+def profile():
+    return DiurnalLoadProfile.typical()
+
+
+class TestDiurnalProfile:
+    def test_normalized_mean(self, profile):
+        assert np.mean(profile.hourly) == pytest.approx(1.0)
+
+    def test_busy_hour_above_overnight(self, profile):
+        overnight = profile.load_at(MONDAY.replace(hour=3))
+        evening = profile.load_at(MONDAY.replace(hour=19))
+        assert evening > 3.0 * overnight
+
+    def test_weekend_discount(self, profile):
+        weekday_noon = profile.load_at(MONDAY.replace(hour=12))
+        saturday_noon = profile.load_at(
+            (MONDAY + dt.timedelta(days=5)).replace(hour=12))
+        assert saturday_noon < weekday_noon
+
+    def test_window_load_averages(self, profile):
+        start = MONDAY.replace(hour=2)
+        hours = [profile.load_at(start + dt.timedelta(hours=i))
+                 for i in range(4)]
+        assert profile.window_load(start, 4.0) == pytest.approx(
+            np.mean(hours))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadProfile(hourly=(1.0,) * 10)
+        with pytest.raises(ValueError):
+            DiurnalLoadProfile(hourly=(-1.0,) * 168)
+        with pytest.raises(ValueError):
+            DiurnalLoadProfile.typical().window_load(MONDAY, 0.0)
+
+
+class TestImpactEstimate:
+    def test_scales_with_load_and_duration(self, profile):
+        night = MaintenanceWindow(MONDAY.replace(hour=2), 4.0)
+        day = MaintenanceWindow(MONDAY.replace(hour=17), 4.0)
+        assert estimate_window_impact(100.0, profile, day) > \
+            2.0 * estimate_window_impact(100.0, profile, night)
+        short = MaintenanceWindow(MONDAY.replace(hour=2), 2.0)
+        assert estimate_window_impact(100.0, profile, night) > \
+            estimate_window_impact(100.0, profile, short)
+
+    def test_negative_degradation_rejected(self, profile):
+        with pytest.raises(ValueError):
+            estimate_window_impact(-1.0, profile,
+                                   MaintenanceWindow(MONDAY, 4.0))
+
+
+class TestScheduler:
+    def _constraints(self, vendor=None):
+        return SchedulingConstraints(
+            earliest=MONDAY,
+            latest=MONDAY + dt.timedelta(days=7),
+            vendor_hours=vendor)
+
+    def test_unconstrained_picks_the_valley(self):
+        scheduler = UpgradeScheduler()
+        decision = scheduler.schedule(100.0, 4.0, self._constraints())
+        assert decision.window.start.hour < 6 or \
+            decision.window.start.hour >= 23
+        assert decision.regret == pytest.approx(0.0, abs=1e-9)
+
+    def test_vendor_constraint_costs_regret(self):
+        scheduler = UpgradeScheduler()
+        constrained = scheduler.schedule(
+            100.0, 4.0, self._constraints(vendor=(9, 17)))
+        assert 9 <= constrained.window.start.hour < 17
+        assert constrained.regret > 0.0
+        # The residual impact is what Magus is for.
+        assert constrained.expected_impact > \
+            constrained.best_possible_impact
+
+    def test_weekend_preferred_under_daytime_constraint(self):
+        """With daytime-only vendors, the cheapest daytime hours are on
+        the discounted weekend."""
+        scheduler = UpgradeScheduler()
+        decision = scheduler.schedule(
+            100.0, 4.0, self._constraints(vendor=(9, 17)))
+        assert decision.window.start.weekday() >= 5
+
+    def test_no_window_raises(self):
+        scheduler = UpgradeScheduler()
+        bad = SchedulingConstraints(
+            earliest=MONDAY, latest=MONDAY - dt.timedelta(days=1))
+        with pytest.raises(ValueError):
+            scheduler.schedule(100.0, 4.0, bad)
+
+    def test_candidate_windows_respect_step(self):
+        scheduler = UpgradeScheduler()
+        constraints = SchedulingConstraints(
+            earliest=MONDAY, latest=MONDAY + dt.timedelta(hours=6),
+            step_hours=2)
+        windows = scheduler.candidate_windows(constraints, 4.0)
+        assert len(windows) == 4
+        assert all((w.start - MONDAY).total_seconds() % 7200 == 0
+                   for w in windows)

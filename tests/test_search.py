@@ -1,0 +1,106 @@
+"""Unit tests for Algorithm 1 (heuristic power tuning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import Evaluator
+from repro.core.plan import Parameter
+from repro.core.search import PowerSearchSettings, tune_power
+
+
+@pytest.fixture
+def outage(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    baseline = toy_evaluator.state_of(c_before)
+    c_upgrade = c_before.with_offline([1])
+    return c_before, c_upgrade, baseline
+
+
+class TestAlgorithm1:
+    def test_improves_utility(self, toy_evaluator, toy_network, outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1])
+        assert result.final_utility >= result.initial_utility
+        assert result.initial_utility == pytest.approx(
+            toy_evaluator.utility_of(c_upgrade))
+
+    def test_only_tunes_neighbor_power(self, toy_evaluator, toy_network,
+                                       outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1])
+        for change in result.changes():
+            assert change.parameter is Parameter.POWER
+            assert change.sector_id != 1           # never the target
+            assert change.new_value > change.old_value
+
+    def test_respects_power_caps(self, toy_evaluator, toy_network, outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1],
+                            PowerSearchSettings(max_unit_db=20.0,
+                                                max_iterations=50))
+        for sid in range(toy_network.n_sectors):
+            assert result.final_config.power_dbm(sid) <= \
+                toy_network.sector(sid).max_power_dbm + 1e-9
+
+    def test_utility_trace_monotone(self, toy_evaluator, toy_network,
+                                    outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1])
+        trace = result.utility_trace()
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_max_iterations_respected(self, toy_evaluator, toy_network,
+                                      outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1],
+                            PowerSearchSettings(max_iterations=1))
+        assert result.n_steps <= 1
+
+    def test_no_degradation_terminates_recovered(self, toy_evaluator,
+                                                 toy_network):
+        """If the start state already matches the baseline, G is empty."""
+        c = toy_network.planned_configuration()
+        baseline = toy_evaluator.state_of(c)
+        result = tune_power(toy_evaluator, toy_network, c, baseline, [1])
+        assert result.termination == "recovered"
+        assert result.n_steps == 0
+
+    def test_target_already_offline_is_never_candidate(
+            self, toy_evaluator, toy_network, outage):
+        _, c_upgrade, baseline = outage
+        result = tune_power(toy_evaluator, toy_network, c_upgrade,
+                            baseline, [1])
+        assert not result.final_config.is_active(1)
+
+
+class TestPrefilterAblation:
+    @pytest.mark.parametrize("prefilter", ["sinr", "rate", "none"])
+    def test_all_modes_improve(self, toy_engine, toy_density, toy_network,
+                               prefilter):
+        ev = Evaluator(toy_engine, toy_density)
+        c_before = toy_network.planned_configuration()
+        baseline = ev.state_of(c_before)
+        c_upgrade = c_before.with_offline([1])
+        result = tune_power(ev, toy_network, c_upgrade, baseline, [1],
+                            PowerSearchSettings(prefilter=prefilter))
+        assert result.final_utility >= result.initial_utility
+
+    def test_sinr_prefilter_spends_no_more_evaluations(
+            self, toy_engine, toy_density, toy_network):
+        results = {}
+        for prefilter in ("sinr", "none"):
+            ev = Evaluator(toy_engine, toy_density)
+            c_before = toy_network.planned_configuration()
+            baseline = ev.state_of(c_before)
+            result = tune_power(ev, toy_network,
+                                c_before.with_offline([1]), baseline, [1],
+                                PowerSearchSettings(prefilter=prefilter))
+            results[prefilter] = (result.total_evaluations,
+                                  result.final_utility)
+        # Same steps cost at most as many model calls with the filter.
+        assert results["sinr"][0] <= results["none"][0]

@@ -1,0 +1,88 @@
+"""Unit tests for NetworkState views and the degraded-grid set."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def states(toy_engine, toy_network, toy_density):
+    c_before = toy_network.planned_configuration()
+    before = toy_engine.evaluate(c_before, toy_density)
+    after = toy_engine.evaluate(c_before.with_offline([1]), toy_density)
+    return before, after
+
+
+class TestCoverageViews:
+    def test_masks_complement(self, states):
+        before, _ = states
+        assert np.array_equal(before.covered_mask(),
+                              ~before.out_of_service_mask())
+
+    def test_ue_counts(self, states):
+        before, _ = states
+        assert before.total_ue_count() == pytest.approx(
+            before.ue_density.sum())
+        assert before.covered_ue_count() <= before.total_ue_count()
+
+    def test_outage_reduces_covered_ues(self, states):
+        before, after = states
+        assert after.covered_ue_count() <= before.covered_ue_count()
+
+
+class TestSectorViews:
+    def test_served_grid_count_sums(self, states):
+        before, _ = states
+        total = sum(before.served_grid_count(s)
+                    for s in before.config.active_sector_ids())
+        assert total == int((before.serving >= 0).sum())
+
+    def test_sector_loads_sum_to_served_population(self, states):
+        before, _ = states
+        loads = before.sector_loads()
+        served_pop = before.ue_density[before.serving >= 0].sum()
+        assert sum(loads.values()) == pytest.approx(served_pop)
+
+    def test_offline_sector_not_in_loads(self, states):
+        _, after = states
+        assert 1 not in after.sector_loads()
+        assert after.served_ue_count(1) == 0.0
+
+
+class TestDegradedGrids:
+    def test_self_comparison_empty(self, states):
+        before, _ = states
+        assert not before.degraded_grids(before).any()
+
+    def test_outage_degrades_target_footprint(self, states):
+        before, after = states
+        degraded = after.degraded_grids(before)
+        target_footprint = before.serving == 1
+        # Most of the lost sector's grids see worse rates.
+        overlap = (degraded & target_footprint).sum()
+        assert overlap > 0.5 * target_footprint.sum()
+
+    def test_degradation_is_directional(self, states):
+        before, after = states
+        # Grids whose rate improved (less interference) do not count.
+        improved = after.rate_bps > before.rate_bps
+        degraded = after.degraded_grids(before)
+        assert not np.any(improved & degraded)
+
+
+class TestSummaries:
+    def test_mean_rate_weighted(self, states):
+        before, _ = states
+        manual = (before.rate_bps * before.ue_density).sum() \
+            / before.ue_density.sum()
+        assert before.mean_rate_bps() == pytest.approx(manual)
+
+    def test_mean_rate_empty_population(self, toy_engine, toy_network):
+        state = toy_engine.evaluate(toy_network.planned_configuration(),
+                                    np.zeros(toy_engine.grid.shape))
+        assert state.mean_rate_bps() == 0.0
+
+    def test_describe_mentions_counts(self, states):
+        before, _ = states
+        text = "\n".join(before.describe())
+        assert "sectors active: 3/3" in text
+        assert "mean UE rate" in text

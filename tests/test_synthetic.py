@@ -1,0 +1,191 @@
+"""Tests for the synthetic data generators (rng, terrain, placement,
+users, calendar)."""
+
+import numpy as np
+import pytest
+
+from repro.model.geometry import GridSpec, Region
+from repro.model.propagation import ClutterClass
+from repro.synthetic.calendar import (UpgradeCalendarGenerator,
+                                      duration_stats, weekday_histogram)
+from repro.synthetic.placement import (AreaType, PlacementParameters,
+                                       build_network, place_sites)
+from repro.synthetic.rng import stream, substream
+from repro.synthetic.terrain import (TerrainParameters, generate_clutter,
+                                     generate_environment, generate_terrain)
+from repro.synthetic.users import (MEAN_UES_PER_SECTOR, population_field,
+                                   sector_ue_counts)
+
+
+class TestRngStreams:
+    def test_same_label_same_stream(self):
+        a = stream(7, "terrain").standard_normal(5)
+        b = stream(7, "terrain").standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_labels_independent(self):
+        a = stream(7, "terrain").standard_normal(5)
+        b = stream(7, "clutter").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_substream_indices(self):
+        a = substream(7, "shadowing", 0).standard_normal(3)
+        b = substream(7, "shadowing", 1).standard_normal(3)
+        assert not np.array_equal(a, b)
+
+
+class TestTerrain:
+    @pytest.fixture
+    def grid(self):
+        return GridSpec(Region.square(8_000.0), cell_size=200.0)
+
+    def test_terrain_range(self, grid):
+        params = TerrainParameters(relief_m=100.0)
+        t = generate_terrain(grid, params, seed=1)
+        assert t.shape == grid.shape
+        assert t.min() >= 0.0
+        assert t.max() <= 2 * params.relief_m   # roughly relief-scaled
+
+    def test_clutter_rings(self, grid):
+        params = TerrainParameters(urban_core_radius_m=1_000.0,
+                                   suburban_radius_m=3_000.0)
+        terrain = generate_terrain(grid, params, seed=1)
+        clutter = generate_clutter(grid, terrain, params, seed=1)
+        cx, cy = grid.region.center
+        center_cell = grid.cell_of(cx, cy)
+        assert clutter[center_cell] == int(ClutterClass.DENSE_URBAN)
+        corner_cell = (0, 0)
+        assert clutter[corner_cell] in (int(ClutterClass.OPEN),
+                                        int(ClutterClass.FOREST),
+                                        int(ClutterClass.WATER))
+
+    def test_environment_reproducible(self, grid):
+        a = generate_environment(grid, seed=3)
+        b = generate_environment(grid, seed=3)
+        assert np.array_equal(a.terrain_m, b.terrain_m)
+        assert np.array_equal(a.clutter, b.clutter)
+
+    def test_forest_fraction_respected(self, grid):
+        params = TerrainParameters(forest_fraction=0.4,
+                                   urban_core_radius_m=200.0,
+                                   suburban_radius_m=400.0,
+                                   water_fraction=0.0)
+        terrain = generate_terrain(grid, params, seed=2)
+        clutter = generate_clutter(grid, terrain, params, seed=2)
+        frac = (clutter == int(ClutterClass.FOREST)).mean()
+        # City rings carve into forest, so <= the target, but nonzero.
+        assert 0.05 < frac <= 0.45
+
+
+class TestPlacement:
+    def test_isd_controls_density(self):
+        region = Region.square(8_000.0)
+        rural = place_sites(region, PlacementParameters.for_area(
+            AreaType.RURAL), seed=0)
+        urban = place_sites(region, PlacementParameters.for_area(
+            AreaType.URBAN), seed=0)
+        assert len(urban) > 5 * len(rural)
+
+    def test_sites_inside_region(self):
+        region = Region.square(6_000.0)
+        for area in AreaType:
+            for x, y in place_sites(
+                    region, PlacementParameters.for_area(area), seed=1):
+                assert region.contains(x, y)
+
+    def test_tri_sector_structure(self):
+        net = build_network(Region.square(6_000.0), AreaType.SUBURBAN,
+                            seed=0)
+        assert net.n_sectors % 3 == 0
+        for site in net.sites.values():
+            assert site.n_sectors == 3
+            azs = sorted(net.sector(s).azimuth_deg
+                         for s in site.sector_ids)
+            assert azs[1] - azs[0] == pytest.approx(120.0)
+
+    def test_region_too_small(self):
+        with pytest.raises(ValueError):
+            build_network(Region.square(500.0), AreaType.RURAL, seed=0)
+
+    def test_area_defaults_ordering(self):
+        r = PlacementParameters.for_area(AreaType.RURAL)
+        s = PlacementParameters.for_area(AreaType.SUBURBAN)
+        u = PlacementParameters.for_area(AreaType.URBAN)
+        assert r.isd_m > s.isd_m > u.isd_m
+        assert r.power_dbm > u.power_dbm
+        assert r.mast_height_m > u.mast_height_m
+
+
+class TestUsers:
+    def test_sector_counts_positive_and_scaled(self, small_area):
+        counts = sector_ue_counts(small_area.network, AreaType.SUBURBAN,
+                                  seed=1)
+        values = np.asarray(list(counts.values()))
+        assert np.all(values > 0)
+        mean = MEAN_UES_PER_SECTOR[AreaType.SUBURBAN]
+        assert 0.5 * mean < values.mean() < 2.0 * mean
+
+    def test_population_field_follows_clutter(self):
+        grid = GridSpec(Region.square(4_000.0), cell_size=200.0)
+        clutter = np.full(grid.shape, int(ClutterClass.OPEN), dtype=np.int8)
+        clutter[:, : grid.n_cols // 2] = int(ClutterClass.DENSE_URBAN)
+        field = population_field(grid, clutter, seed=0, n_hotspots=0)
+        urban_mean = field[:, : grid.n_cols // 2].mean()
+        open_mean = field[:, grid.n_cols // 2:].mean()
+        assert urban_mean > 10 * open_mean
+
+    def test_population_field_nonnegative(self):
+        grid = GridSpec(Region.square(4_000.0), cell_size=200.0)
+        clutter = np.zeros(grid.shape, dtype=np.int8)
+        field = population_field(grid, clutter, seed=0)
+        assert np.all(field >= 0.0)
+
+    def test_shape_validation(self):
+        grid = GridSpec(Region.square(4_000.0), cell_size=200.0)
+        with pytest.raises(ValueError):
+            population_field(grid, np.zeros((2, 2), dtype=np.int8))
+
+
+class TestCalendar:
+    @pytest.fixture(scope="class")
+    def tickets(self):
+        return UpgradeCalendarGenerator(n_sites=200, seed=0).generate()
+
+    def test_every_day_has_upgrades(self, tickets):
+        days = {t.start.date() for t in tickets}
+        assert len(days) == 365          # 2015 is not a leap year
+
+    def test_tue_fri_skew(self, tickets):
+        hist = weekday_histogram(tickets)
+        tue_fri = sum(hist[d] for d in ("Tue", "Wed", "Thu", "Fri")) / 4.0
+        others = sum(hist[d] for d in ("Mon", "Sat", "Sun")) / 3.0
+        assert tue_fri > 2.0 * others    # "more than twice as likely"
+
+    def test_durations_mostly_4_to_6(self, tickets):
+        stats = duration_stats(tickets)
+        assert 4.0 <= stats["median_hours"] <= 6.0
+        assert stats["fraction_4_to_6h"] > 0.75
+
+    def test_sorted_by_start(self, tickets):
+        starts = [t.start for t in tickets]
+        assert starts == sorted(starts)
+
+    def test_busy_hour_overlap_flag(self, tickets):
+        import datetime as dt
+        overnight = next(t for t in tickets if t.start.hour < 3
+                         and t.duration_hours < 5.0)
+        assert not overnight.overlaps_busy_hours()
+        daytime = next(t for t in tickets if 9 <= t.start.hour <= 12)
+        assert daytime.overlaps_busy_hours()
+
+    def test_reproducible(self):
+        a = UpgradeCalendarGenerator(n_sites=50, seed=2).generate()
+        b = UpgradeCalendarGenerator(n_sites=50, seed=2).generate()
+        assert [(t.start, t.site_id) for t in a[:20]] == \
+            [(t.start, t.site_id) for t in b[:20]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UpgradeCalendarGenerator(n_sites=0)
+        with pytest.raises(ValueError):
+            UpgradeCalendarGenerator(mean_tickets_per_day=0.0)

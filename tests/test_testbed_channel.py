@@ -1,0 +1,69 @@
+"""Unit tests for the testbed channel and attenuator semantics."""
+
+import pytest
+
+from repro.testbed.channel import AttenuatorSpec, IndoorChannel
+
+
+class TestAttenuator:
+    def test_paper_semantics(self):
+        """L=1 is maximum power, L=30 minimum, step 1 dB."""
+        spec = AttenuatorSpec()
+        assert spec.power_dbm(1) == 21.0             # 125 mW
+        assert spec.power_dbm(30) == 21.0 - 29.0
+        assert spec.power_dbm(2) == spec.power_dbm(1) - 1.0
+
+    def test_level_validation(self):
+        spec = AttenuatorSpec()
+        with pytest.raises(ValueError):
+            spec.power_dbm(0)
+        with pytest.raises(ValueError):
+            spec.power_dbm(31)
+
+    def test_levels_range(self):
+        spec = AttenuatorSpec()
+        assert list(spec.levels)[0] == 1
+        assert list(spec.levels)[-1] == 30
+        assert len(list(spec.levels)) == 30
+
+
+class TestIndoorChannel:
+    def test_loss_grows_with_distance(self):
+        ch = IndoorChannel(shadowing_sigma_db=0.0)
+        near = ch.path_loss_db(0, (0.0, 0.0), 0, (5.0, 0.0))
+        far = ch.path_loss_db(0, (0.0, 0.0), 0, (50.0, 0.0))
+        assert far > near
+
+    def test_log_distance_slope(self):
+        ch = IndoorChannel(path_loss_exponent=3.0, shadowing_sigma_db=0.0)
+        l10 = ch.path_loss_db(0, (0.0, 0.0), 0, (10.0, 0.0))
+        l100 = ch.path_loss_db(0, (0.0, 0.0), 0, (100.0, 0.0))
+        assert l100 - l10 == pytest.approx(30.0)     # 10 n per decade
+
+    def test_received_power(self):
+        ch = IndoorChannel(shadowing_sigma_db=0.0)
+        rx = ch.received_power_dbm(21.0, 0, (0.0, 0.0), 0, (10.0, 0.0))
+        assert rx == pytest.approx(
+            21.0 - ch.path_loss_db(0, (0.0, 0.0), 0, (10.0, 0.0)))
+
+    def test_shadowing_deterministic_per_link(self):
+        ch = IndoorChannel(shadowing_sigma_db=4.0, seed=5)
+        a = ch.path_loss_db(1, (0.0, 0.0), 2, (10.0, 0.0))
+        b = ch.path_loss_db(1, (0.0, 0.0), 2, (10.0, 0.0))
+        assert a == b
+
+    def test_shadowing_varies_across_links(self):
+        ch = IndoorChannel(shadowing_sigma_db=4.0, seed=5)
+        a = ch.path_loss_db(1, (0.0, 0.0), 2, (10.0, 0.0))
+        b = ch.path_loss_db(3, (0.0, 0.0), 2, (10.0, 0.0))
+        assert a != b
+
+    def test_minimum_distance_clamp(self):
+        ch = IndoorChannel(shadowing_sigma_db=0.0)
+        at_zero = ch.path_loss_db(0, (0.0, 0.0), 0, (0.0, 0.0))
+        at_half = ch.path_loss_db(0, (0.0, 0.0), 0, (0.5, 0.0))
+        assert at_zero == at_half
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            IndoorChannel(path_loss_exponent=0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the EPC-lite control-plane state machines."""
+
+import pytest
+
+from repro.testbed.epc import (DEFAULT_QCI, EcmState, EmmState, EpcError,
+                               EvolvedPacketCore)
+
+
+@pytest.fixture
+def epc():
+    core = EvolvedPacketCore()
+    core.provision_subscriber("001010000000001")
+    core.provision_subscriber("001010000000002")
+    return core
+
+
+class TestAttachDetach:
+    def test_attach_creates_context_and_bearer(self, epc):
+        ctx = epc.attach("001010000000001", enb_id=1)
+        assert ctx.emm is EmmState.REGISTERED
+        assert ctx.ecm is EcmState.CONNECTED
+        assert ctx.serving_enb == 1
+        assert len(ctx.bearers) == 1
+        assert ctx.bearers[0].qci == DEFAULT_QCI
+        assert epc.active_sessions == 1
+
+    def test_unknown_imsi_rejected(self, epc):
+        with pytest.raises(EpcError, match="unknown to HSS"):
+            epc.attach("999990000000000", enb_id=1)
+
+    def test_double_attach_rejected(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        with pytest.raises(EpcError, match="already attached"):
+            epc.attach("001010000000001", enb_id=2)
+
+    def test_detach_clears_state(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        epc.detach("001010000000001")
+        ctx = epc.context("001010000000001")
+        assert ctx.emm is EmmState.DEREGISTERED
+        assert ctx.serving_enb is None
+        assert ctx.bearers == []
+        assert epc.active_sessions == 0
+
+    def test_reattach_after_detach(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        epc.detach("001010000000001")
+        ctx = epc.attach("001010000000001", enb_id=2)
+        assert ctx.serving_enb == 2
+
+    def test_detach_unattached_rejected(self, epc):
+        with pytest.raises(EpcError):
+            epc.detach("001010000000001")
+
+
+class TestHandover:
+    def test_x2_keeps_bearers(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        bearer_id = epc.context("001010000000001").bearers[0].bearer_id
+        epc.x2_handover("001010000000001", target_enb=2)
+        ctx = epc.context("001010000000001")
+        assert ctx.serving_enb == 2
+        assert ctx.bearers[0].bearer_id == bearer_id   # forwarded
+
+    def test_s1_reattach_rebuilds_bearer(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        old_bearer = epc.context("001010000000001").bearers[0].bearer_id
+        epc.s1_reattach("001010000000001", target_enb=2)
+        ctx = epc.context("001010000000001")
+        assert ctx.serving_enb == 2
+        assert ctx.bearers[0].bearer_id != old_bearer  # new session
+
+    def test_handover_requires_registration(self, epc):
+        with pytest.raises(EpcError):
+            epc.x2_handover("001010000000001", target_enb=2)
+
+
+class TestBookkeeping:
+    def test_attached_to(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        epc.attach("001010000000002", enb_id=1)
+        epc.x2_handover("001010000000002", target_enb=2)
+        assert epc.attached_to(1) == ["001010000000001"]
+        assert epc.attached_to(2) == ["001010000000002"]
+
+    def test_signaling_load_ordering(self, epc):
+        """S1 re-attach is heavier than X2 — the premise of the paper's
+        seamless-handover preference."""
+        epc.attach("001010000000001", enb_id=1)
+        base = epc.total_signaling_messages()
+        epc.x2_handover("001010000000001", target_enb=2)
+        x2_cost = epc.total_signaling_messages() - base
+        epc.s1_reattach("001010000000001", target_enb=1)
+        s1_cost = epc.total_signaling_messages() - base - x2_cost
+        assert s1_cost > x2_cost
+
+    def test_unique_bearer_ids(self, epc):
+        epc.attach("001010000000001", enb_id=1)
+        epc.attach("001010000000002", enb_id=1)
+        b1 = epc.context("001010000000001").bearers[0].bearer_id
+        b2 = epc.context("001010000000002").bearers[0].bearer_id
+        assert b1 != b2
+
+    def test_context_missing(self, epc):
+        with pytest.raises(EpcError):
+            epc.context("001010000000009")

@@ -1,0 +1,62 @@
+"""Unit tests for greedy tilt tuning."""
+
+import pytest
+
+from repro.core.plan import Parameter
+from repro.core.tilt import TiltSearchSettings, tune_tilt
+
+
+@pytest.fixture
+def outage(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    return c_before.with_offline([1])
+
+
+class TestTiltSearch:
+    def test_improves_or_holds(self, toy_evaluator, toy_network, outage):
+        result = tune_tilt(toy_evaluator, toy_network, outage, [1])
+        assert result.final_utility >= result.initial_utility
+
+    def test_changes_are_uptilts_on_neighbors(self, toy_evaluator,
+                                              toy_network, outage):
+        result = tune_tilt(toy_evaluator, toy_network, outage, [1])
+        for change in result.changes():
+            assert change.parameter is Parameter.TILT
+            assert change.sector_id != 1
+            assert change.new_value < change.old_value   # uptilt only
+
+    def test_tilts_stay_in_catalogue(self, toy_evaluator, toy_network,
+                                     outage):
+        result = tune_tilt(toy_evaluator, toy_network, outage, [1])
+        for sid in range(toy_network.n_sectors):
+            tilt_range = toy_network.sector(sid).tilt_range
+            tilt = result.final_config.tilt_deg(sid)
+            assert tilt_range.min_deg <= tilt <= tilt_range.max_deg
+            assert tilt == tilt_range.clamp(tilt)
+
+    def test_each_step_improves(self, toy_evaluator, toy_network, outage):
+        result = tune_tilt(toy_evaluator, toy_network, outage, [1])
+        trace = result.utility_trace()
+        assert all(b > a for a, b in zip(trace, trace[1:]))
+
+    def test_max_steps_per_sector(self, toy_evaluator, toy_network, outage):
+        settings = TiltSearchSettings(max_steps_per_sector=1)
+        result = tune_tilt(toy_evaluator, toy_network, outage, [1],
+                           settings)
+        per_sector = {}
+        for change in result.changes():
+            per_sector[change.sector_id] = \
+                per_sector.get(change.sector_id, 0) + 1
+        assert all(v <= 1 for v in per_sector.values())
+
+    def test_downtilt_extension(self, toy_evaluator, toy_network, outage):
+        """allow_downtilt may add moves but can never reduce utility."""
+        plain = tune_tilt(toy_evaluator, toy_network, outage, [1])
+        extended = tune_tilt(toy_evaluator, toy_network, outage, [1],
+                             TiltSearchSettings(allow_downtilt=True))
+        assert extended.final_utility >= plain.final_utility - 1e-9
+
+    def test_offline_neighbor_skipped(self, toy_evaluator, toy_network):
+        c = toy_network.planned_configuration().with_offline([1, 2])
+        result = tune_tilt(toy_evaluator, toy_network, c, [1])
+        assert all(ch.sector_id != 2 for ch in result.changes())

@@ -1,0 +1,71 @@
+"""Tests for the wall-clock migration timeline."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.joint import tune_joint
+from repro.core.gradual import gradual_migration
+from repro.upgrades.timeline import build_timeline
+
+UPGRADE_AT = dt.datetime(2015, 6, 2, 13, 0)
+
+
+@pytest.fixture
+def gradual(toy_evaluator, toy_network):
+    c_before = toy_network.planned_configuration()
+    baseline = toy_evaluator.state_of(c_before)
+    c_upgrade = c_before.with_offline([1])
+    plan = tune_joint(toy_evaluator, toy_network, c_upgrade,
+                      baseline, [1])
+    return gradual_migration(toy_evaluator, toy_network, c_before,
+                             plan.final_config, [1])
+
+
+class TestBuildTimeline:
+    def test_last_entry_is_the_upgrade(self, gradual):
+        tl = build_timeline(gradual, UPGRADE_AT)
+        assert tl.entries[-1].at == UPGRADE_AT
+        assert tl.entries[-1].is_upgrade_instant
+
+    def test_entries_ordered_and_spaced(self, gradual):
+        tl = build_timeline(gradual, UPGRADE_AT,
+                            step_interval_minutes=10.0)
+        times = [e.at for e in tl.entries]
+        assert times == sorted(times)
+        for a, b in zip(times, times[1:]):
+            assert (b - a) == dt.timedelta(minutes=10)
+
+    def test_lead_time_matches_step_count(self, gradual):
+        tl = build_timeline(gradual, UPGRADE_AT,
+                            step_interval_minutes=10.0)
+        expected = dt.timedelta(
+            minutes=10.0 * (len(gradual.batches) - 1))
+        assert tl.lead_time == expected
+
+    def test_signaling_accounting(self, gradual):
+        tl = build_timeline(gradual, UPGRADE_AT)
+        for entry, batch in zip(tl.entries, gradual.batches):
+            expected = batch.seamless_ues * 4 + batch.hard_ues * 12
+            assert entry.signaling_messages == pytest.approx(expected)
+        assert tl.total_signaling() == pytest.approx(
+            sum(e.signaling_messages for e in tl.entries))
+
+    def test_peak_signaling_rate(self, gradual):
+        slow = build_timeline(gradual, UPGRADE_AT,
+                              step_interval_minutes=20.0)
+        fast = build_timeline(gradual, UPGRADE_AT,
+                              step_interval_minutes=5.0)
+        # Same bursts spread over longer intervals = lower rate.
+        assert slow.peak_signaling_per_minute() < \
+            fast.peak_signaling_per_minute()
+
+    def test_describe(self, gradual):
+        tl = build_timeline(gradual, UPGRADE_AT)
+        text = "\n".join(tl.describe())
+        assert "UPGRADE" in text
+        assert "migration starts" in text
+
+    def test_bad_interval(self, gradual):
+        with pytest.raises(ValueError):
+            build_timeline(gradual, UPGRADE_AT, step_interval_minutes=0)

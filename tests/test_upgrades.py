@@ -1,0 +1,86 @@
+"""Tests for upgrade scenarios and the end-to-end planner."""
+
+import math
+
+import pytest
+
+from repro.upgrades.planner import UpgradePlanner
+from repro.upgrades.scenario import (UpgradeScenario, central_site,
+                                     select_targets)
+
+
+class TestScenarioSelection:
+    def test_labels(self):
+        assert UpgradeScenario.from_label("a") is \
+            UpgradeScenario.SINGLE_SECTOR
+        assert UpgradeScenario.from_label("b") is UpgradeScenario.FULL_SITE
+        assert UpgradeScenario.from_label("c") is \
+            UpgradeScenario.FOUR_CORNERS
+        with pytest.raises(ValueError):
+            UpgradeScenario.from_label("z")
+
+    def test_central_site_is_nearest_to_center(self, small_area):
+        site_id = central_site(small_area)
+        cx, cy = small_area.tuning_region.center
+        chosen = small_area.network.sites[site_id]
+        d_chosen = math.hypot(chosen.x - cx, chosen.y - cy)
+        for site in small_area.network.sites.values():
+            d = math.hypot(site.x - cx, site.y - cy)
+            assert d_chosen <= d + 1e-9
+
+    def test_scenario_a_single_central_sector(self, small_area):
+        targets = select_targets(small_area,
+                                 UpgradeScenario.SINGLE_SECTOR)
+        assert len(targets) == 1
+        sector = small_area.network.sector(targets[0])
+        assert sector.site_id == central_site(small_area)
+
+    def test_scenario_b_full_site(self, small_area):
+        targets = select_targets(small_area, UpgradeScenario.FULL_SITE)
+        site = small_area.network.sites[central_site(small_area)]
+        assert set(targets) == set(site.sector_ids)
+
+    def test_scenario_c_distinct_sites(self, small_area):
+        targets = select_targets(small_area, UpgradeScenario.FOUR_CORNERS)
+        sites = {small_area.network.sector(t).site_id for t in targets}
+        assert len(sites) == len(targets)
+        assert 1 <= len(targets) <= 4
+
+    def test_deterministic(self, small_area):
+        a = select_targets(small_area, UpgradeScenario.SINGLE_SECTOR)
+        b = select_targets(small_area, UpgradeScenario.SINGLE_SECTOR)
+        assert a == b
+
+
+class TestUpgradePlanner:
+    def test_mitigate_without_gradual(self, small_area):
+        planner = UpgradePlanner(small_area)
+        outcome = planner.mitigate(UpgradeScenario.SINGLE_SECTOR,
+                                   tuning="power")
+        assert outcome.plan.f_before >= outcome.plan.f_after
+        assert outcome.recovery >= 0.0
+        assert outcome.gradual is None
+        with pytest.raises(ValueError):
+            _ = outcome.handover_reduction
+
+    def test_mitigate_with_gradual(self, small_area):
+        planner = UpgradePlanner(small_area)
+        outcome = planner.mitigate(UpgradeScenario.SINGLE_SECTOR,
+                                   tuning="joint", with_gradual=True)
+        assert outcome.gradual is not None
+        assert outcome.handover_reduction >= 1.0
+        text = "\n".join(outcome.describe())
+        assert "recovery ratio" in text
+        assert "gradual" in text
+
+    def test_explicit_targets_override(self, small_area):
+        planner = UpgradePlanner(small_area)
+        outcome = planner.mitigate(UpgradeScenario.SINGLE_SECTOR,
+                                   tuning="power", target_sectors=[0])
+        assert outcome.plan.target_sectors == (0,)
+
+    def test_coverage_utility_planner(self, small_area):
+        planner = UpgradePlanner(small_area, utility="coverage")
+        outcome = planner.mitigate(UpgradeScenario.SINGLE_SECTOR,
+                                   tuning="power")
+        assert outcome.plan.utility_name == "coverage"

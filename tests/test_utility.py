@@ -1,0 +1,79 @@
+"""Unit tests for the utility functions (Formulae 5 and 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.utility import (CoverageUtility, PerformanceUtility,
+                                SumRateUtility, available_utilities,
+                                get_utility)
+
+
+class TestPerformanceUtility:
+    def test_log_of_positive_rates(self):
+        u = PerformanceUtility()
+        rates = np.asarray([1e6, 1e7])
+        assert np.allclose(u.per_ue(rates), np.log(rates))
+
+    def test_zero_rate_contributes_zero(self):
+        u = PerformanceUtility()
+        assert u.per_ue(np.asarray([0.0]))[0] == 0.0
+
+    def test_fairness_incentive(self):
+        """The log favors raising a poor UE over a rich one by the same
+        factor gap the paper cites for proportional fairness."""
+        u = PerformanceUtility()
+        poor_gain = u.per_ue(np.asarray([2e5]))[0] - \
+            u.per_ue(np.asarray([1e5]))[0]
+        rich_gain = u.per_ue(np.asarray([2e7 + 1e5]))[0] - \
+            u.per_ue(np.asarray([2e7]))[0]
+        assert poor_gain > rich_gain * 10
+
+    def test_evaluate_weights_by_density(self, toy_engine, toy_network,
+                                         toy_density):
+        state = toy_engine.evaluate(toy_network.planned_configuration(),
+                                    toy_density)
+        u = PerformanceUtility()
+        manual = (u.per_ue(state.rate_bps) * state.ue_density).sum()
+        assert u.evaluate(state) == pytest.approx(manual)
+
+
+class TestCoverageUtility:
+    def test_binary_values(self):
+        u = CoverageUtility()
+        vals = u.per_ue(np.asarray([0.0, 1.0, 1e9]))
+        assert list(vals) == [0.0, 1.0, 1.0]
+
+    def test_counts_covered_ues(self, toy_engine, toy_network, toy_density):
+        state = toy_engine.evaluate(toy_network.planned_configuration(),
+                                    toy_density)
+        assert CoverageUtility().evaluate(state) == pytest.approx(
+            state.covered_ue_count())
+
+
+class TestSumRate:
+    def test_identity(self):
+        u = SumRateUtility()
+        rates = np.asarray([0.0, 5.0, 7.5])
+        assert np.array_equal(u.per_ue(rates), rates)
+
+    def test_no_fairness(self):
+        """Sum-rate is indifferent to who gets the bits — the property
+        the paper argues against."""
+        u = SumRateUtility()
+        balanced = u.per_ue(np.asarray([5e6, 5e6])).sum()
+        skewed = u.per_ue(np.asarray([1e6, 9e6])).sum()
+        assert balanced == skewed
+
+
+class TestRegistry:
+    def test_names(self):
+        assert available_utilities() == ["coverage", "performance",
+                                         "sum-rate"]
+
+    def test_lookup(self):
+        assert isinstance(get_utility("performance"), PerformanceUtility)
+        assert isinstance(get_utility("coverage"), CoverageUtility)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown utility"):
+            get_utility("throughput")

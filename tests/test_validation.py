@@ -1,0 +1,68 @@
+"""Tests for the drive-test model-validation tools."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (DriveTestSample, ValidationReport,
+                                       drive_test, validate_against)
+
+
+@pytest.fixture
+def baseline(toy_evaluator, toy_network):
+    return toy_evaluator.state_of(toy_network.planned_configuration())
+
+
+class TestDriveTest:
+    def test_sample_count_and_bounds(self, baseline):
+        samples = drive_test(baseline, n_samples=200, seed=1)
+        assert len(samples) == 200
+        for s in samples[:20]:
+            assert baseline.grid.region.contains(s.x, s.y)
+
+    def test_noise_free_matches_model(self, baseline):
+        samples = drive_test(baseline, n_samples=100,
+                             measurement_noise_db=0.0, seed=2)
+        report = validate_against(baseline, samples)
+        assert report.coverage_agreement == 1.0
+        assert report.serving_agreement == 1.0
+        assert report.sinr_mae_db == pytest.approx(0.0, abs=1e-9)
+        assert report.sinr_rank_correlation == pytest.approx(1.0)
+
+    def test_noise_degrades_mae_not_agreement(self, baseline):
+        noisy = drive_test(baseline, n_samples=300,
+                           measurement_noise_db=3.0, seed=3)
+        report = validate_against(baseline, noisy)
+        assert report.coverage_agreement == 1.0   # flags are exact
+        assert 1.5 < report.sinr_mae_db < 5.0     # ~E|N(0,3)| = 2.4
+        assert abs(report.sinr_bias_db) < 1.0
+        assert report.sinr_rank_correlation > 0.7
+
+    def test_wrong_model_scores_worse(self, baseline, toy_evaluator,
+                                      toy_network):
+        """Validating the outage snapshot against pre-outage samples
+        must show disagreement — the report detects model drift."""
+        samples = drive_test(baseline, n_samples=300,
+                             measurement_noise_db=0.0, seed=4)
+        wrong = toy_evaluator.state_of(
+            toy_network.planned_configuration().with_offline([1]))
+        report = validate_against(wrong, samples)
+        assert report.serving_agreement < 1.0
+
+    def test_validation_requires_samples(self, baseline):
+        with pytest.raises(ValueError):
+            validate_against(baseline, [])
+        with pytest.raises(ValueError):
+            drive_test(baseline, n_samples=0)
+
+    def test_deterministic_under_seed(self, baseline):
+        a = drive_test(baseline, n_samples=50, seed=9)
+        b = drive_test(baseline, n_samples=50, seed=9)
+        assert a == b
+
+    def test_report_describe(self, baseline):
+        samples = drive_test(baseline, n_samples=50, seed=5)
+        text = "\n".join(validate_against(baseline, samples).describe())
+        assert "coverage agreement" in text
+        assert "SINR MAE" in text
