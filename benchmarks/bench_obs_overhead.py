@@ -1,0 +1,65 @@
+"""Microbenchmark: disabled instrumentation must be (near) free.
+
+The tentpole requirement on the observability subsystem is that the
+NumPy inner loop stays fast when nobody is collecting: with the null
+registry active, ``AnalysisEngine.evaluate`` (counter bump + no-op
+registry calls around the compute body) must cost < 2% over the bare
+compute body ``AnalysisEngine._evaluate`` on the same
+``bench_model_engine`` scenario (the suburban area).
+
+Timing uses best-of-many interleaved repetitions — the minimum is the
+standard noise-robust estimator for microbenchmarks — and the whole
+comparison retries a few times before failing so a scheduler hiccup
+cannot flake the suite.
+"""
+
+import time
+
+from repro.obs import NULL_REGISTRY, use_registry
+
+from conftest import report
+
+#: Acceptance threshold: disabled-instrumentation overhead on one
+#: engine evaluation.
+MAX_OVERHEAD = 0.02
+
+
+def _best_time(fn, rounds: int = 12, inner: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter() - start) / inner
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_instrumentation_overhead(suburban_area):
+    """Instrumented vs bare evaluation under the null registry."""
+    area = suburban_area
+    config = area.c_before
+
+    def instrumented():
+        return area.engine.evaluate(config, area.ue_density)
+
+    def bare():
+        return area.engine._evaluate(config, area.ue_density)
+
+    with use_registry(NULL_REGISTRY):
+        instrumented()          # warm caches (gain tensor etc.)
+        overhead = float("inf")
+        for _attempt in range(3):
+            t_bare = _best_time(bare)
+            t_instr = _best_time(instrumented)
+            overhead = (t_instr - t_bare) / t_bare
+            if overhead < MAX_OVERHEAD:
+                break
+
+    report(f"\nobs overhead (disabled): bare={t_bare * 1e3:.3f} ms "
+           f"instrumented={t_instr * 1e3:.3f} ms "
+           f"overhead={overhead * 100:+.2f}%")
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled instrumentation costs {overhead * 100:.2f}% "
+        f"(limit {MAX_OVERHEAD * 100:.0f}%)")

@@ -15,6 +15,7 @@ from typing import Dict, List, Tuple
 import pytest
 
 from repro.core.magus import Magus
+from repro.obs import MetricsRegistry, use_registry
 from repro.synthetic.market import MARKET_NAMES, StudyArea, build_area
 from repro.synthetic.placement import AreaType
 from repro.upgrades.scenario import UpgradeScenario, select_targets
@@ -33,6 +34,24 @@ def area_seed(market_index: int, area_type: AreaType) -> int:
     """The seed lineage used by ``build_market`` (kept in sync)."""
     offset = list(AreaType).index(area_type)
     return 1000 * (market_index + 1) + offset
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Per-test metrics registry, attached to the benchmark result.
+
+    Every bench runs with a fresh real registry active, so instrumented
+    code records counters/timers; if the test used the ``benchmark``
+    fixture, the final snapshot rides along in ``extra_info`` (and ends
+    up in ``--benchmark-json`` output).
+    """
+    registry = MetricsRegistry()
+    benchmark = (request.getfixturevalue("benchmark")
+                 if "benchmark" in request.fixturenames else None)
+    with use_registry(registry):
+        yield registry
+    if benchmark is not None:
+        benchmark.extra_info["metrics"] = registry.snapshot()
 
 
 @dataclass

@@ -13,7 +13,9 @@ The package layers, bottom-up:
 * :mod:`repro.testbed` — the Section-3 LTE testbed emulator;
 * :mod:`repro.upgrades` — scenario selection and the end-to-end
   pipeline;
-* :mod:`repro.analysis` — metrics, report formatting, map rendering.
+* :mod:`repro.analysis` — metrics, report formatting, map rendering;
+* :mod:`repro.obs` — observability: metrics registry, tracing spans,
+  structured logging and run reports (off by default).
 
 Quickstart::
 
@@ -30,6 +32,8 @@ from .core import (Evaluator, GradualResult, GradualSettings, Magus,
                    MitigationResult, PowerSearchSettings,
                    TiltSearchSettings, TuningResult, TUNING_STRATEGIES,
                    get_utility, recovery_ratio)
+from .obs import (MetricsRegistry, RunReport, get_registry, set_registry,
+                  setup_logging, trace, use_registry)
 from .model import (AnalysisEngine, AntennaPattern, CellularNetwork,
                     Configuration, Environment, GridSpec, LinkAdaptation,
                     NetworkState, PathLossDatabase, Region, Sector)
@@ -50,5 +54,7 @@ __all__ = [
     "AreaType", "Market", "StudyArea", "UpgradeCalendarGenerator",
     "build_area", "build_market",
     "UpgradeOutcome", "UpgradePlanner", "UpgradeScenario", "select_targets",
+    "MetricsRegistry", "RunReport", "get_registry", "set_registry",
+    "setup_logging", "trace", "use_registry",
     "__version__",
 ]

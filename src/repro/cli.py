@@ -9,17 +9,25 @@ Commands mirror the library's main workflows:
   Figure-2 timeline;
 * ``calendar`` — generate a year of upgrade tickets and print the
   motivation statistics.
+
+Observability flags: a global ``-v`` / ``-vv`` (before the subcommand)
+turns on structured iteration logging; ``mitigate`` and ``testbed``
+additionally accept ``--metrics-out FILE.json`` (write the run's
+:class:`~repro.obs.RunReport`) and ``--trace`` (print the span tree).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .analysis.ascii_map import render_serving_map
 from .analysis.report import format_series, format_table
 from .core.magus import Magus, TUNING_STRATEGIES
+from .obs import (MetricsRegistry, RunReport, get_registry, set_registry,
+                  setup_logging, trace, verbosity_to_level)
 from .synthetic.calendar import (UpgradeCalendarGenerator, duration_stats,
                                  weekday_histogram)
 from .synthetic.market import build_area
@@ -35,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-magus",
         description="Magus (CoNEXT 2015) reproduction toolkit")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="structured progress logging "
+                             "(-v info, -vv debug); give before the "
+                             "subcommand")
     sub = parser.add_subparsers(dest="command", required=True)
 
     area = sub.add_parser("area", help="build a study area, show coverage")
@@ -51,10 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default="performance")
     mitigate.add_argument("--gradual", action="store_true",
                           help="also compute the gradual migration schedule")
+    _add_obs_args(mitigate)
 
     testbed = sub.add_parser("testbed", help="run a Section-3 scenario")
     testbed.add_argument("--scenario", type=int, choices=[1, 2], default=1)
     testbed.add_argument("--seed", type=int, default=None)
+    _add_obs_args(testbed)
 
     calendar = sub.add_parser("calendar",
                               help="synthesize a year of upgrade tickets")
@@ -77,8 +91,18 @@ def _add_area_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", metavar="FILE.json", default=None,
+                        help="write the run report (metrics, phases, "
+                             "utility trajectory) as JSON")
+    parser.add_argument("--trace", action="store_true",
+                        help="collect and print the span tree of the run")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        setup_logging(verbosity_to_level(args.verbose))
     handler = {
         "area": _cmd_area,
         "mitigate": _cmd_mitigate,
@@ -86,7 +110,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calendar": _cmd_calendar,
         "validate": _cmd_validate,
     }[args.command]
-    return handler(args)
+
+    observing = bool(getattr(args, "metrics_out", None)
+                     or getattr(args, "trace", False))
+    previous_registry = None
+    if observing:
+        previous_registry = set_registry(MetricsRegistry())
+        if args.trace:
+            trace.enable()
+    try:
+        status = handler(args)
+        sys.stdout.flush()
+        return status
+    except BrokenPipeError:
+        # Output was piped to a consumer (head, less) that closed early.
+        # Redirect stdout to devnull so the interpreter's shutdown flush
+        # does not raise again, and exit quietly (standard SIGPIPE
+        # convention).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        if observing:
+            trace.disable()
+            trace.clear()
+            set_registry(previous_registry)
+
+
+def _emit_report(report: RunReport, args) -> None:
+    """Write/print the run report per the ``--metrics-out``/``--trace``."""
+    if args.trace and report.spans:
+        print()
+        print("trace:")
+        for span_dict in report.spans:
+            _print_span(span_dict, indent=1)
+    if args.metrics_out:
+        report.write(args.metrics_out)
+        print(f"run report written to {args.metrics_out}")
+    elif args.trace:
+        print()
+        print(report.to_table())
+
+
+def _print_span(span_dict: dict, indent: int = 0) -> None:
+    tags = span_dict.get("tags") or {}
+    suffix = ("  " + " ".join(f"{k}={v}" for k, v in tags.items())
+              if tags else "")
+    mark = "" if span_dict.get("status", "ok") == "ok" else "  [ERROR]"
+    print(f"{'  ' * indent}{span_dict['name']}: "
+          f"{span_dict['duration_ns'] / 1e6:.2f} ms{suffix}{mark}")
+    for child in span_dict.get("children", ()):
+        _print_span(child, indent + 1)
 
 
 # ----------------------------------------------------------------------
@@ -104,7 +178,8 @@ def _cmd_area(args) -> int:
 
 
 def _cmd_mitigate(args) -> int:
-    area = build_area(AreaType(args.area_type), seed=args.seed)
+    with trace.span("magus.build_area", area_type=args.area_type):
+        area = build_area(AreaType(args.area_type), seed=args.seed)
     scenario = UpgradeScenario.from_label(args.scenario)
     targets = select_targets(area, scenario)
     magus = Magus.from_area(area, utility=args.utility)
@@ -121,6 +196,13 @@ def _cmd_mitigate(args) -> int:
         print(f"direct-tuning peak: "
               f"{direct.peak_simultaneous_ues:.0f} UEs "
               f"(x{gradual.reduction_vs(direct):.1f} reduction)")
+    if args.metrics_out or args.trace:
+        report = RunReport.from_mitigation(
+            plan, command="mitigate", registry=get_registry(),
+            tracer=trace,
+            meta={"area_type": args.area_type, "seed": args.seed,
+                  "scenario": args.scenario, "tuning": args.tuning})
+        _emit_report(report, args)
     return 0
 
 
@@ -141,6 +223,21 @@ def _cmd_testbed(args) -> int:
     print(format_series("no tuning", tl.times, tl.no_tuning, "{:.2f}"))
     print(format_series("reactive", tl.times, tl.reactive, "{:.2f}"))
     print(format_series("proactive", tl.times, tl.proactive, "{:.2f}"))
+    if args.metrics_out or args.trace:
+        registry = get_registry()
+        measurements = registry.counter(
+            "magus.testbed.measurements").value
+        report = RunReport.from_registry(
+            command="testbed", registry=registry, tracer=trace,
+            utility_trajectory=list(tl.reactive),
+            total_model_evaluations=measurements,
+            meta={"scenario": args.scenario, "seed": args.seed,
+                  "f_before": result.f_before,
+                  "f_upgrade": result.f_upgrade,
+                  "f_after": result.f_after,
+                  "recovery_ratio": result.recovery,
+                  "reactive_steps": result.reactive_steps})
+        _emit_report(report, args)
     return 0
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from ..model.engine import AnalysisEngine
 from ..model.network import Configuration
 from ..model.snapshot import NetworkState
+from ..obs import Counter, CostMeter, get_registry
 from .utility import UtilityFunction, get_utility
 
 __all__ = ["Evaluator"]
@@ -42,7 +43,28 @@ class Evaluator:
         self._cache: "OrderedDict[Configuration, Tuple[NetworkState, float]]" = \
             OrderedDict()
         self._cache_size = cache_size
-        self.model_evaluations = 0
+        # Always-on distinct-evaluation counter; searches meter their
+        # spent cost against it via :meth:`cost_meter`.
+        self._eval_counter = Counter("evaluator.model_evaluations")
+
+    @property
+    def model_evaluations(self) -> int:
+        """Distinct (cache-missing) model evaluations performed."""
+        return self._eval_counter.value
+
+    @model_evaluations.setter
+    def model_evaluations(self, value: int) -> None:
+        self._eval_counter.reset(value)
+
+    def cost_meter(self) -> CostMeter:
+        """A zero-point meter over the model-evaluation counter.
+
+        ``meter = evaluator.cost_meter(); ...; meter.spent()`` reads how
+        many distinct evaluations the enclosed work consumed — the
+        search algorithms' cost metric — without the before/after
+        counter-diff idiom.
+        """
+        return self._eval_counter.meter()
 
     # ------------------------------------------------------------------
     def state_of(self, config: Configuration) -> NetworkState:
@@ -73,10 +95,12 @@ class Evaluator:
         hit = self._cache.get(config)
         if hit is not None:
             self._cache.move_to_end(config)
+            get_registry().counter("magus.evaluator.cache_hits").inc()
             return hit
         state = self.engine.evaluate(config, self.ue_density)
         value = self.utility.evaluate(state)
-        self.model_evaluations += 1
+        self._eval_counter.inc()
+        get_registry().counter("magus.evaluator.model_evaluations").inc()
         self._cache[config] = (state, value)
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)

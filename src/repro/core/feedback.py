@@ -30,12 +30,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..model.network import CellularNetwork, Configuration
+from ..obs import get_logger, get_registry, trace
 from .evaluation import Evaluator
 from .plan import ConfigChange, Parameter
 
 __all__ = ["FeedbackSettings", "FeedbackResult", "reactive_feedback"]
 
 _EPS = 1e-9
+_LOG = get_logger("core.feedback")
 
 
 @dataclass(frozen=True)
@@ -88,30 +90,41 @@ def reactive_feedback(evaluator: Evaluator, network: CellularNetwork,
         max_neighbors=settings.max_neighbors)
     config = start_config
     f_current = evaluator.utility_of(config)
-    trace = [f_current]
+    utility_trace = [f_current]
     changes: List[ConfigChange] = []
     idealized = 0
     realistic = 0
 
-    for _ in range(settings.max_steps):
-        candidates = _candidate_moves(network, config, neighbors, settings)
-        if not candidates:
-            break
-        realistic += len(candidates)      # every candidate gets measured
-        best: Optional[Tuple[float, Configuration, ConfigChange]] = None
-        for trial, change in candidates:
-            f_trial = evaluator.utility_of(trial)
-            if best is None or f_trial > best[0]:
-                best = (f_trial, trial, change)
-        assert best is not None
-        if best[0] <= f_current + _EPS:   # local optimum reached
-            break
-        idealized += 1
-        f_current, config = best[0], best[1]
-        changes.append(best[2])
-        trace.append(f_current)
+    registry = get_registry()
+    with trace.span("magus.feedback_pass", neighbors=len(neighbors)):
+        for iteration in range(settings.max_steps):
+            candidates = _candidate_moves(network, config, neighbors,
+                                          settings)
+            if not candidates:
+                break
+            realistic += len(candidates)  # every candidate gets measured
+            registry.counter("magus.feedback.realistic_steps").inc(
+                len(candidates))
+            meter = evaluator.cost_meter()
+            best: Optional[Tuple[float, Configuration, ConfigChange]] = None
+            for trial_cfg, change in candidates:
+                f_trial = evaluator.utility_of(trial_cfg)
+                if best is None or f_trial > best[0]:
+                    best = (f_trial, trial_cfg, change)
+            assert best is not None
+            if best[0] <= f_current + _EPS:   # local optimum reached
+                break
+            idealized += 1
+            registry.counter("magus.feedback.idealized_steps").inc()
+            _LOG.info("feedback iteration=%d sector=%d knob=%s "
+                      "delta_utility=%+.6g evals=%d", iteration + 1,
+                      best[2].sector_id, best[2].parameter.value,
+                      best[0] - f_current, meter.spent())
+            f_current, config = best[0], best[1]
+            changes.append(best[2])
+            utility_trace.append(f_current)
 
-    return FeedbackResult(final_config=config, utility_trace=trace,
+    return FeedbackResult(final_config=config, utility_trace=utility_trace,
                           idealized_steps=idealized,
                           realistic_steps=realistic, changes=changes,
                           measurement_minutes=settings.measurement_minutes)

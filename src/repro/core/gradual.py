@@ -26,6 +26,7 @@ from ..handover.events import HandoverBatch, classify_batch
 from ..handover.migration import (MigrationStats, reduction_factor,
                                   summarize_batches)
 from ..model.network import CellularNetwork, Configuration
+from ..obs import get_logger, get_registry, trace
 from .evaluation import Evaluator
 from .plan import ConfigChange, Parameter
 
@@ -33,6 +34,7 @@ __all__ = ["GradualSettings", "GradualResult", "gradual_migration",
            "simulate_direct", "decompose_changes"]
 
 _EPS = 1e-9
+_LOG = get_logger("core.gradual")
 
 
 @dataclass(frozen=True)
@@ -90,7 +92,9 @@ def gradual_migration(evaluator: Evaluator, network: CellularNetwork,
     settings = settings or GradualSettings()
     targets = list(target_sectors)
     _check_targets(c_after, targets)
+    registry = get_registry()
     floor = evaluator.utility_of(c_after)
+    registry.gauge("magus.gradual.floor_utility").set(floor)
     pending = decompose_changes(c_before, c_after, targets,
                                 unit_db=settings.compensation_unit_db,
                                 network=network)
@@ -102,30 +106,42 @@ def gradual_migration(evaluator: Evaluator, network: CellularNetwork,
     jumped = False
     config = c_before
 
-    for step in range(settings.max_steps):
-        if _no_target_ues(evaluator, config, targets) or \
-                _targets_at_floor_power(network, config, targets):
-            break
-        trial = _step_down_targets(network, config, targets,
-                                   settings.target_step_db)
-        compensated = False
-        while evaluator.utility_of(trial) < floor - _EPS and pending:
-            trial = _apply_change(trial, pending.pop(0), network)
-            compensated = True
-        if evaluator.utility_of(trial) < floor - _EPS:
-            jumped = True       # cannot hold the floor: jump to C_after
-            break
-        if compensated:
-            compensation_steps.append(len(configs))
-        _commit(evaluator, configs, utilities, batches, trial)
-        config = trial
+    with trace.span("magus.gradual_migration", targets=len(targets),
+                    pending_moves=len(pending)):
+        for step in range(settings.max_steps):
+            if _no_target_ues(evaluator, config, targets) or \
+                    _targets_at_floor_power(network, config, targets):
+                break
+            trial = _step_down_targets(network, config, targets,
+                                       settings.target_step_db)
+            compensated = False
+            meter = evaluator.cost_meter()
+            while evaluator.utility_of(trial) < floor - _EPS and pending:
+                trial = _apply_change(trial, pending.pop(0), network)
+                compensated = True
+            if evaluator.utility_of(trial) < floor - _EPS:
+                jumped = True   # cannot hold the floor: jump to C_after
+                break
+            if compensated:
+                compensation_steps.append(len(configs))
+                registry.counter("magus.gradual.compensations").inc()
+            registry.counter("magus.gradual.steps").inc()
+            _commit(evaluator, configs, utilities, batches, trial)
+            _LOG.info("gradual step=%d knob=power delta_utility=%+.6g "
+                      "evals=%d compensated=%s", step + 1,
+                      utilities[-1] - utilities[-2], meter.spent(),
+                      compensated)
+            config = trial
 
-    # The upgrade instant: apply any remaining compensation and take the
-    # targets off-air in one final transition.
-    final = c_after
-    if final != config:
-        _commit(evaluator, configs, utilities, batches, final)
+        # The upgrade instant: apply any remaining compensation and take
+        # the targets off-air in one final transition.
+        final = c_after
+        if final != config:
+            _commit(evaluator, configs, utilities, batches, final)
 
+    if jumped:
+        _LOG.warning("gradual schedule could not hold the floor; "
+                     "jumped directly to C_after")
     return GradualResult(configs=configs, utilities=utilities,
                          batches=batches,
                          compensation_steps=compensation_steps,

@@ -18,12 +18,15 @@ from typing import Optional, Sequence
 
 from ..model.network import CellularNetwork, Configuration
 from ..model.snapshot import NetworkState
+from ..obs import get_logger, trace
 from .evaluation import Evaluator
 from .plan import TuningResult
 from .search import PowerSearchSettings, tune_power
 from .tilt import TiltSearchSettings, tune_tilt
 
 __all__ = ["tune_joint"]
+
+_LOG = get_logger("core.joint")
 
 
 def tune_joint(evaluator: Evaluator, network: CellularNetwork,
@@ -42,22 +45,28 @@ def tune_joint(evaluator: Evaluator, network: CellularNetwork,
     returns whichever scores higher.  This makes "joint >= each knob
     alone" structural rather than empirical.
     """
-    tilt_result = tune_tilt(evaluator, network, start_config,
-                            target_sectors, settings=tilt_settings)
-    power_result = tune_power(evaluator, network, tilt_result.final_config,
-                              baseline_state, target_sectors,
-                              settings=power_settings)
-    combined = TuningResult(
-        initial_config=start_config,
-        final_config=power_result.final_config,
-        initial_utility=tilt_result.initial_utility,
-        final_utility=power_result.final_utility,
-        steps=tilt_result.steps + power_result.steps,
-        termination=power_result.termination)
+    with trace.span("magus.joint_pass"):
+        tilt_result = tune_tilt(evaluator, network, start_config,
+                                target_sectors, settings=tilt_settings)
+        power_result = tune_power(evaluator, network,
+                                  tilt_result.final_config,
+                                  baseline_state, target_sectors,
+                                  settings=power_settings)
+        combined = TuningResult(
+            initial_config=start_config,
+            final_config=power_result.final_config,
+            initial_utility=tilt_result.initial_utility,
+            final_utility=power_result.final_utility,
+            steps=tilt_result.steps + power_result.steps,
+            termination=power_result.termination)
 
-    power_only = tune_power(evaluator, network, start_config,
-                            baseline_state, target_sectors,
-                            settings=power_settings)
+        power_only = tune_power(evaluator, network, start_config,
+                                baseline_state, target_sectors,
+                                settings=power_settings)
+    _LOG.info("joint tilt+power=%.6g power-only=%.6g winner=%s",
+              combined.final_utility, power_only.final_utility,
+              "tilt+power" if power_only.final_utility
+              <= combined.final_utility else "power-only")
     if power_only.final_utility <= combined.final_utility:
         return combined
     return TuningResult(

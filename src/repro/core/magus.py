@@ -25,6 +25,7 @@ import numpy as np
 
 from ..model.engine import AnalysisEngine
 from ..model.network import CellularNetwork, Configuration
+from ..obs import get_logger, get_registry, trace
 from .azimuth import AzimuthSearchSettings, tune_azimuth
 from .brute import BruteForceSettings, tune_brute_force
 from .evaluation import Evaluator
@@ -33,12 +34,14 @@ from .gradual import (GradualResult, GradualSettings, gradual_migration,
                       simulate_direct)
 from .joint import tune_joint
 from .naive import NaiveSettings, tune_naive
-from .plan import MitigationResult, TuningResult
+from .plan import MitigationResult, TuningResult, recovery_ratio
 from .search import PowerSearchSettings, tune_power
 from .tilt import TiltSearchSettings, tune_tilt
 from .utility import UtilityFunction
 
 __all__ = ["Magus", "TUNING_STRATEGIES"]
+
+_LOG = get_logger("core.magus")
 
 #: Strategy names accepted by :meth:`Magus.plan_mitigation`.
 TUNING_STRATEGIES = ("power", "tilt", "joint", "naive", "azimuth")
@@ -90,13 +93,27 @@ class Magus:
         for t in targets:
             if not c_before.is_active(t):
                 raise ValueError(f"target sector {t} is already off-air")
-        baseline_state = self.evaluator.state_of(c_before)
-        f_before = self.evaluator.utility_of(c_before)
-        c_upgrade = c_before.with_offline(targets)
-        f_upgrade = self.evaluator.utility_of(c_upgrade)
+        meter = self.evaluator.cost_meter()
+        with trace.span("magus.plan_mitigation", tuning=tuning,
+                        targets=len(targets)):
+            with trace.span("magus.baseline_eval"):
+                baseline_state = self.evaluator.state_of(c_before)
+                f_before = self.evaluator.utility_of(c_before)
+            with trace.span("magus.upgrade_eval"):
+                c_upgrade = c_before.with_offline(targets)
+                f_upgrade = self.evaluator.utility_of(c_upgrade)
 
-        result = self._run_tuner(tuning, c_upgrade, baseline_state, targets)
+            with trace.span("magus.tuning", strategy=tuning):
+                result = self._run_tuner(tuning, c_upgrade,
+                                         baseline_state, targets)
 
+        get_registry().counter("magus.plan.model_evaluations").inc(
+            meter.spent())
+        _LOG.info("plan tuning=%s targets=%s recovery=%.4f evals=%d "
+                  "steps=%d termination=%s", tuning, list(targets),
+                  recovery_ratio(f_before, f_upgrade,
+                                 result.final_utility),
+                  meter.spent(), result.n_steps, result.termination)
         return MitigationResult(
             target_sectors=targets,
             c_before=c_before, c_upgrade=c_upgrade,

@@ -13,12 +13,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..model.network import CellularNetwork, Configuration
+from ..obs import get_logger, trace
 from .evaluation import Evaluator
 from .plan import ConfigChange, Parameter, SearchStep, TuningResult
 
 __all__ = ["NaiveSettings", "tune_naive"]
 
 _EPS = 1e-9
+_LOG = get_logger("core.naive")
 
 
 @dataclass(frozen=True)
@@ -45,26 +47,30 @@ def tune_naive(evaluator: Evaluator, network: CellularNetwork,
     initial_utility = f_current
     steps: List[SearchStep] = []
 
-    for b in neighbors:
-        if not config.is_active(b):
-            continue
-        max_power = network.sector(b).max_power_dbm
-        for _ in range(settings.max_steps_per_sector):
-            old_power = config.power_dbm(b)
-            trial = config.with_power_delta(b, settings.unit_db,
-                                            max_power_dbm=max_power)
-            if trial.power_dbm(b) <= old_power + _EPS:   # at the cap
-                break
-            f_trial = evaluator.utility_of(trial)
-            if f_trial <= f_current + _EPS:              # worse: revert, next
-                break
-            steps.append(SearchStep(
-                change=ConfigChange(sector_id=b, parameter=Parameter.POWER,
-                                    old_value=old_power,
-                                    new_value=trial.power_dbm(b)),
-                utility=f_trial, candidates_evaluated=1))
-            config = trial
-            f_current = f_trial
+    with trace.span("magus.naive_pass", neighbors=len(neighbors)):
+        for b in neighbors:
+            if not config.is_active(b):
+                continue
+            max_power = network.sector(b).max_power_dbm
+            for _ in range(settings.max_steps_per_sector):
+                old_power = config.power_dbm(b)
+                trial = config.with_power_delta(b, settings.unit_db,
+                                                max_power_dbm=max_power)
+                if trial.power_dbm(b) <= old_power + _EPS:   # at the cap
+                    break
+                f_trial = evaluator.utility_of(trial)
+                if f_trial <= f_current + _EPS:   # worse: revert, next
+                    break
+                steps.append(SearchStep(
+                    change=ConfigChange(sector_id=b,
+                                        parameter=Parameter.POWER,
+                                        old_value=old_power,
+                                        new_value=trial.power_dbm(b)),
+                    utility=f_trial, candidates_evaluated=1))
+                _LOG.info("naive sector=%d knob=power delta_utility=%+.6g "
+                          "evals=1", b, f_trial - f_current)
+                config = trial
+                f_current = f_trial
 
     return TuningResult(initial_config=start_config, final_config=config,
                         initial_utility=initial_utility,

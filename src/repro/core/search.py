@@ -30,12 +30,14 @@ import numpy as np
 
 from ..model.network import CellularNetwork, Configuration
 from ..model.snapshot import NetworkState
+from ..obs import get_logger, get_registry, trace
 from .evaluation import Evaluator
 from .plan import ConfigChange, Parameter, SearchStep, TuningResult
 
 __all__ = ["PowerSearchSettings", "tune_power"]
 
 _EPS = 1e-9
+_LOG = get_logger("core.search")
 
 
 @dataclass(frozen=True)
@@ -79,6 +81,7 @@ def tune_power(evaluator: Evaluator, network: CellularNetwork,
     neighbors = network.neighbors_of(
         target_sectors, radius_m=settings.neighbor_radius_m,
         max_neighbors=settings.max_neighbors)
+    registry = get_registry()
     config = start_config
     f_current = evaluator.utility_of(config)
     initial_utility = f_current
@@ -86,40 +89,55 @@ def tune_power(evaluator: Evaluator, network: CellularNetwork,
     unit = settings.unit_db
     termination = "max-iterations"
 
-    for _ in range(settings.max_iterations):
-        state = evaluator.state_of(config)
-        affected = state.degraded_grids(baseline_state)
-        if not affected.any():
-            termination = "recovered"
-            break
-        candidates = _eligible(network, config, neighbors, unit)
-        if not candidates:
-            termination = "power-exhausted"
-            break
-
-        evals_before = evaluator.model_evaluations
-        best = _best_candidate(evaluator, network, config, state,
-                               affected, candidates, unit,
-                               settings.prefilter)
-        spent = evaluator.model_evaluations - evals_before
-
-        if best is not None and best[1] > f_current + _EPS:
-            sector_id, f_new, new_config = best[0], best[1], best[2]
-            steps.append(SearchStep(
-                change=ConfigChange(
-                    sector_id=sector_id, parameter=Parameter.POWER,
-                    old_value=config.power_dbm(sector_id),
-                    new_value=new_config.power_dbm(sector_id)),
-                utility=f_new, candidates_evaluated=spent))
-            config = new_config
-            f_current = f_new
-            unit = settings.unit_db           # reset after progress
-        else:
-            unit += settings.unit_db          # paper: "increment T if needed"
-            if unit > settings.max_unit_db:
-                termination = "no-improvement"
+    with trace.span("magus.power_pass", prefilter=settings.prefilter,
+                    neighbors=len(neighbors)):
+        for iteration in range(settings.max_iterations):
+            state = evaluator.state_of(config)
+            affected = state.degraded_grids(baseline_state)
+            if not affected.any():
+                termination = "recovered"
                 break
+            candidates = _eligible(network, config, neighbors, unit)
+            if not candidates:
+                termination = "power-exhausted"
+                break
+            registry.counter("magus.search.power.iterations").inc()
+            registry.counter("magus.search.power.candidates").inc(
+                len(candidates))
 
+            meter = evaluator.cost_meter()
+            best = _best_candidate(evaluator, network, config, state,
+                                   affected, candidates, unit,
+                                   settings.prefilter)
+            spent = meter.spent()
+
+            if best is not None and best[1] > f_current + _EPS:
+                sector_id, f_new, new_config = best[0], best[1], best[2]
+                steps.append(SearchStep(
+                    change=ConfigChange(
+                        sector_id=sector_id, parameter=Parameter.POWER,
+                        old_value=config.power_dbm(sector_id),
+                        new_value=new_config.power_dbm(sector_id)),
+                    utility=f_new, candidates_evaluated=spent))
+                registry.counter("magus.search.power.accepted_steps").inc()
+                _LOG.info(
+                    "power iteration=%d sector=%d knob=power "
+                    "delta_utility=%+.6g evals=%d unit_db=%.1f",
+                    iteration + 1, sector_id, f_new - f_current, spent,
+                    unit)
+                config = new_config
+                f_current = f_new
+                unit = settings.unit_db       # reset after progress
+            else:
+                _LOG.debug(
+                    "power iteration=%d no-improvement evals=%d "
+                    "unit_db=%.1f", iteration + 1, spent, unit)
+                unit += settings.unit_db      # paper: "increment T if needed"
+                if unit > settings.max_unit_db:
+                    termination = "no-improvement"
+                    break
+
+    registry.gauge("magus.search.power.final_utility").set(f_current)
     return TuningResult(initial_config=start_config, final_config=config,
                         initial_utility=initial_utility,
                         final_utility=f_current, steps=steps,

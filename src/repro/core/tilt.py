@@ -18,12 +18,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..model.network import CellularNetwork, Configuration
+from ..obs import get_logger, get_registry, trace
 from .evaluation import Evaluator
 from .plan import ConfigChange, Parameter, SearchStep, TuningResult
 
 __all__ = ["TiltSearchSettings", "tune_tilt"]
 
 _EPS = 1e-9
+_LOG = get_logger("core.tilt")
 
 
 @dataclass(frozen=True)
@@ -58,17 +60,19 @@ def tune_tilt(evaluator: Evaluator, network: CellularNetwork,
     initial_utility = f_current
     steps: List[SearchStep] = []
 
-    for b in neighbors:
-        if not config.is_active(b):
-            continue
-        config, f_current = _sweep_sector(
-            evaluator, network, config, f_current, b, steps,
-            direction="up", settings=settings)
-        if settings.allow_downtilt:
+    with trace.span("magus.tilt_pass", neighbors=len(neighbors)):
+        for b in neighbors:
+            if not config.is_active(b):
+                continue
             config, f_current = _sweep_sector(
                 evaluator, network, config, f_current, b, steps,
-                direction="down", settings=settings)
+                direction="up", settings=settings)
+            if settings.allow_downtilt:
+                config, f_current = _sweep_sector(
+                    evaluator, network, config, f_current, b, steps,
+                    direction="down", settings=settings)
 
+    get_registry().gauge("magus.search.tilt.final_utility").set(f_current)
     return TuningResult(initial_config=start_config, final_config=config,
                         initial_utility=initial_utility,
                         final_utility=f_current, steps=steps,
@@ -80,6 +84,7 @@ def _sweep_sector(evaluator: Evaluator, network: CellularNetwork,
                   steps: List[SearchStep], direction: str,
                   settings: TiltSearchSettings):
     """Tilt ``sector_id`` step by step while utility improves."""
+    registry = get_registry()
     tilt_range = network.sector(sector_id).tilt_range
     for _ in range(settings.max_steps_per_sector):
         current_tilt = config.tilt_deg(sector_id)
@@ -99,6 +104,9 @@ def _sweep_sector(evaluator: Evaluator, network: CellularNetwork,
                                 old_value=current_tilt,
                                 new_value=new_tilt),
             utility=f_trial, candidates_evaluated=1))
+        registry.counter("magus.search.tilt.accepted_steps").inc()
+        _LOG.info("tilt sector=%d knob=tilt delta_utility=%+.6g evals=1 "
+                  "tilt_deg=%.1f", sector_id, f_trial - f_current, new_tilt)
         config = trial
         f_current = f_trial
     return config, f_current

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import Counter, get_registry
 from .linkrate import LinkAdaptation
 from .network import Configuration
 from .pathloss import PathLossDatabase
@@ -53,12 +54,33 @@ class AnalysisEngine:
         self.noise_dbm = noise_dbm
         self.min_rp_dbm = min_rp_dbm
         self.grid = pathloss.grid
-        self.evaluations = 0  # instrumentation for ablation benches
+        # Always-on per-engine evaluation counter (ablation benches read
+        # it through the ``evaluations`` property); the active metrics
+        # registry is additionally updated on every evaluation.
+        self._eval_counter = Counter("engine.evaluations")
+
+    @property
+    def evaluations(self) -> int:
+        """Total full-model evaluations this engine has performed."""
+        return self._eval_counter.value
+
+    @evaluations.setter
+    def evaluations(self, value: int) -> None:
+        self._eval_counter.reset(value)
 
     # ------------------------------------------------------------------
     def evaluate(self, config: Configuration,
                  ue_density: np.ndarray) -> NetworkState:
         """Full grid/sector snapshot for ``config`` (Formulae 1-4)."""
+        self._eval_counter.inc()
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc()
+        with registry.timer("magus.engine.evaluate").time():
+            return self._evaluate(config, ue_density)
+
+    def _evaluate(self, config: Configuration,
+                  ue_density: np.ndarray) -> NetworkState:
+        """The uninstrumented evaluation body (overhead baseline)."""
         if config.n_sectors != self.pathloss.network.n_sectors:
             raise ValueError("configuration does not match network")
         if ue_density.shape != self.grid.shape:
@@ -67,7 +89,6 @@ class AnalysisEngine:
             raise ValueError("UE density must be finite (corrupt raster?)")
         if np.any(ue_density < 0):
             raise ValueError("UE density must be non-negative")
-        self.evaluations += 1
 
         rp_dbm = self._received_power_dbm(config)          # (S, H, W)
         serving, rp_best, interference, sinr_db = self._sinr(rp_dbm)

@@ -1,0 +1,39 @@
+"""Observability: metrics registry, tracing spans and run reports.
+
+The package is dependency-free and disabled by default — the active
+registry is a shared no-op (:data:`NULL_REGISTRY`) and the tracer is
+off, so the NumPy inner loop pays only a couple of no-op calls per
+evaluation.  A run opts in::
+
+    from repro.obs import MetricsRegistry, set_registry, trace
+
+    set_registry(MetricsRegistry())    # collect counters/timers
+    trace.enable()                     # retain span trees
+
+    with trace.span("magus.tilt_pass"):
+        ...
+
+    snapshot = get_registry().snapshot()
+
+The CLI exposes the same switches as ``--metrics-out FILE.json`` and
+``--trace``; :class:`RunReport` turns a finished mitigation run into
+the JSON/tabular artifact both share.
+"""
+
+from .logging import (ROOT_LOGGER_NAME, get_logger, setup_logging,
+                      verbosity_to_level)
+from .registry import (NULL_REGISTRY, Counter, CostMeter, Gauge,
+                       MetricsRegistry, NullRegistry, Timer, get_registry,
+                       set_registry, use_registry)
+from .report import SCHEMA, RunReport
+from .tracer import Span, Tracer, trace
+
+__all__ = [
+    "Counter", "CostMeter", "Gauge", "Timer",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "get_registry", "set_registry", "use_registry",
+    "Span", "Tracer", "trace",
+    "RunReport", "SCHEMA",
+    "ROOT_LOGGER_NAME", "get_logger", "setup_logging",
+    "verbosity_to_level",
+]

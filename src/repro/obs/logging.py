@@ -1,0 +1,69 @@
+"""Structured logging under the ``repro`` logger namespace.
+
+Every tuning iteration emits one ``key=value`` line (sector, knob,
+delta-utility, evaluations spent) through a child of the ``repro``
+logger, so operators can follow a long mitigation run live and grep the
+stream afterwards.  Nothing is emitted unless :func:`setup_logging`
+(or the CLI's ``-v`` / ``-vv`` flags) attaches a handler — the library
+itself never configures the root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "setup_logging",
+           "verbosity_to_level"]
+
+#: All loggers in the package hang off this namespace.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a logging level (0 WARNING, 1 INFO, 2+ DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(level: Union[int, str] = logging.INFO,
+                  stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Re-invocation adjusts the level of the existing handler instead of
+    stacking a second one, so tests and long-lived sessions can call it
+    freely.  Returns the configured ``repro`` logger.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown logging level {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    logger.propagate = False
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_obs", False):
+            handler.setLevel(level)
+            handler.setStream(target)        # follow redirected stderr
+            return logger
+    handler = logging.StreamHandler(target)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    handler._repro_obs = True                # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

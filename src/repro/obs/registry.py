@@ -1,0 +1,342 @@
+"""The metrics registry: counters, gauges and ns-resolution timers.
+
+Everything here is dependency-free (no NumPy) because the registry sits
+*inside* the model's inner loop: the engine and evaluator bump counters
+and timers on every single evaluation.  The design therefore has two
+modes with very different cost profiles:
+
+* the **null registry** (the process-wide default) — every ``counter()``
+  / ``gauge()`` / ``timer()`` call returns a shared no-op singleton, so
+  instrumented code pays a couple of attribute lookups and nothing
+  else.  ``snapshot()`` is always empty: disabled instrumentation
+  leaves no trace.
+* a real :class:`MetricsRegistry` — installed for one run via
+  :func:`set_registry` or the :func:`use_registry` context manager
+  (the CLI's ``--metrics-out`` / ``--trace`` flags do this), it keeps
+  one metric object per name and serializes to a plain dict.
+
+Timers record integer nanoseconds (``time.perf_counter_ns``) into a
+bounded ring buffer, so percentiles stay O(ring) regardless of how many
+observations a long search produces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Counter", "CostMeter", "Gauge", "Timer", "MetricsRegistry",
+    "NullRegistry", "NULL_REGISTRY", "get_registry", "set_registry",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        self._value = value
+
+    def meter(self) -> "CostMeter":
+        """A zero-point handle for measuring cost spent from *now*."""
+        return CostMeter(self)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"type": "counter", "value": self._value}
+
+
+class CostMeter:
+    """Reads the cost a :class:`Counter` accrued since the meter was made.
+
+    This replaces the fragile ``before = c.value; ...; spent = c.value -
+    before`` diffing pattern: callers take a meter, run the work, and ask
+    :meth:`spent` — the zero point can never be forgotten or reused.
+    """
+
+    __slots__ = ("_counter", "_zero")
+
+    def __init__(self, counter: Counter) -> None:
+        self._counter = counter
+        self._zero = counter.value
+
+    def spent(self) -> int:
+        return self._counter.value - self._zero
+
+    def restart(self) -> None:
+        self._zero = self._counter.value
+
+
+class Gauge:
+    """A set-to-latest float metric (also tracks min/max seen)."""
+
+    __slots__ = ("name", "_value", "_min", "_max", "_updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Optional[float] = None
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._updates = 0
+
+    def set(self, value: float) -> None:
+        self._value = value
+        self._updates += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self._value, "min": self._min,
+                "max": self._max, "updates": self._updates}
+
+
+class _TimerHandle:
+    """One in-flight timing; returned by :meth:`Timer.time`."""
+
+    __slots__ = ("_timer", "_start_ns")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._start_ns = 0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.observe_ns(time.perf_counter_ns() - self._start_ns)
+
+
+class Timer:
+    """Duration metric: count/total plus a ring buffer for percentiles."""
+
+    __slots__ = ("name", "count", "total_ns", "min_ns", "max_ns",
+                 "_ring", "_ring_size", "_ring_pos")
+
+    def __init__(self, name: str, ring_size: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+        self._ring: List[int] = []
+        self._ring_size = ring_size
+        self._ring_pos = 0
+
+    def time(self) -> _TimerHandle:
+        """``with timer.time(): ...`` records the block's duration."""
+        return _TimerHandle(self)
+
+    def observe_ns(self, duration_ns: int) -> None:
+        self.count += 1
+        self.total_ns += duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if self.max_ns is None or duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+        if len(self._ring) < self._ring_size:
+            self._ring.append(duration_ns)
+        else:                                   # overwrite oldest
+            self._ring[self._ring_pos] = duration_ns
+            self._ring_pos = (self._ring_pos + 1) % self._ring_size
+
+    def percentile_ns(self, q: float) -> Optional[float]:
+        """Linear-interpolated percentile (``q`` in [0, 100]) over the ring."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def mean_ns(self) -> Optional[float]:
+        return self.total_ns / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": "timer",
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "mean_ns": self.mean_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "p50_ns": self.percentile_ns(50.0),
+            "p90_ns": self.percentile_ns(90.0),
+            "p99_ns": self.percentile_ns(99.0),
+        }
+
+
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """One metric object per name; serializes to a plain dict."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as ``{name: {type, ...stats}}`` (JSON-safe)."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:      # noqa: D102 — no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullTimerHandle:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_TIMER_HANDLE = _NullTimerHandle()
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def time(self) -> _NullTimerHandle:          # type: ignore[override]
+        return _NULL_TIMER_HANDLE
+
+    def observe_ns(self, duration_ns: int) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled-instrumentation registry: shared no-op singletons.
+
+    Every accessor returns the same do-nothing metric object, so
+    instrumented call sites cost two attribute lookups and a no-op call.
+    Its :meth:`snapshot` is always empty — a key acceptance property
+    (disabled instrumentation must add no keys anywhere).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._timer = _NullTimer("null", ring_size=0)
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def timer(self, name: str) -> Timer:
+        return self._timer
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+#: Process-wide shared no-op registry (the default active registry).
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the active one; ``None`` disables.
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry]
+                 ) -> Iterator[MetricsRegistry]:
+    """Scoped :func:`set_registry`: restores the previous one on exit."""
+    previous = set_registry(registry)
+    try:
+        yield get_registry()
+    finally:
+        set_registry(previous)

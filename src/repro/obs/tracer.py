@@ -1,0 +1,199 @@
+"""A lightweight span tracer for phase-level wall-time accounting.
+
+Searches and planners wrap their phases in spans::
+
+    with trace.span("magus.tilt_pass"):
+        ...
+
+Spans serve two consumers:
+
+* the active metrics registry always receives each span's duration as a
+  timer named ``span.<name>`` — this is how ``RunReport`` gets
+  per-phase wall time even when full tracing is off;
+* when the tracer itself is enabled (CLI ``--trace``), finished root
+  spans are retained as a tree (name, wall time, tags, status,
+  children) for printing or embedding in the JSON report.
+
+Spans nest via a thread-local stack, are exception-safe (an exception
+marks the span ``error`` and propagates), and cost nothing when both
+the tracer and the registry are disabled: ``span()`` then returns a
+shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .registry import NULL_REGISTRY, get_registry
+
+__all__ = ["Span", "Tracer", "trace"]
+
+#: Registry-timer prefix under which span durations are recorded.
+SPAN_TIMER_PREFIX = "span."
+
+
+class Span:
+    """One finished (or in-flight) traced phase."""
+
+    __slots__ = ("name", "tags", "start_ns", "end_ns", "status",
+                 "error", "children")
+
+    def __init__(self, name: str, tags: Optional[Dict[str, object]] = None
+                 ) -> None:
+        self.name = name
+        self.tags: Dict[str, object] = dict(tags or {})
+        self.start_ns = 0
+        self.end_ns = 0
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration_ns(self) -> int:
+        return max(self.end_ns - self.start_ns, 0)
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_ns": self.duration_ns,
+            "status": self.status,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def describe(self, indent: int = 0) -> List[str]:
+        """The span subtree as indented human-readable lines."""
+        mark = "" if self.status == "ok" else "  [ERROR]"
+        tags = ("  " + " ".join(f"{k}={v}" for k, v in self.tags.items())
+                if self.tags else "")
+        lines = [f"{'  ' * indent}{self.name}: "
+                 f"{self.duration_ns / 1e6:.2f} ms{tags}{mark}"]
+        for child in self.children:
+            lines.extend(child.describe(indent + 1))
+        return lines
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _ActiveSpanContext:
+    """Context manager driving one live span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span.start_ns = time.perf_counter_ns()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self._span
+        span.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(span)
+        registry = get_registry()
+        if registry is not NULL_REGISTRY:
+            registry.timer(SPAN_TIMER_PREFIX + span.name).observe_ns(
+                span.duration_ns)
+        return None                 # never swallow the exception
+
+
+class Tracer:
+    """Span factory with a thread-local nesting stack."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._local = threading.local()
+        self._finished: List[Span] = []
+        self._lock = threading.Lock()
+
+    # -- enablement ----------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- span API ------------------------------------------------------
+    def span(self, name: str, **tags):
+        """Open a nested span; no-op unless tracing or metrics are on."""
+        if not self._enabled and get_registry() is NULL_REGISTRY:
+            return _NULL_SPAN
+        return _ActiveSpanContext(self, Span(name, tags))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- finished-span collection -------------------------------------
+    def drain(self) -> List[Span]:
+        """Remove and return the finished root spans collected so far."""
+        with self._lock:
+            finished, self._finished = self._finished, []
+        return finished
+
+    def clear(self) -> None:
+        self.drain()
+
+    # -- internals -----------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:          # defensive: unwind past it
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        if not self._enabled:
+            return                   # tree retention only when tracing
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._finished.append(span)
+
+
+#: The process-wide tracer used by all instrumented code.
+trace = Tracer()

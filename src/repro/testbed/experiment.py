@@ -18,11 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..obs import get_logger, trace
 from .testbed import LTETestbed, UpgradeTimeline
 
 __all__ = ["Fig2Result", "run_upgrade_experiment"]
 
 _EPS = 1e-9
+_LOG = get_logger("testbed.experiment")
 
 
 @dataclass
@@ -54,20 +56,29 @@ def run_upgrade_experiment(bed: LTETestbed, target_enb: int,
     neighbors = [e for e in all_enbs if e != target_enb]
 
     # (1) best normal-conditions configuration.
-    c_before = bed.optimize_attenuations(all_enbs, level_step=level_step)
-    f_before = bed.utility()
+    with trace.span("magus.testbed.optimize_before"):
+        c_before = bed.optimize_attenuations(all_enbs,
+                                             level_step=level_step)
+        f_before = bed.utility()
 
     # (2) the un-mitigated upgrade.
-    bed.take_offline(target_enb)
-    f_upgrade = bed.utility()
+    with trace.span("magus.testbed.upgrade_eval"):
+        bed.take_offline(target_enb)
+        f_upgrade = bed.utility()
 
     # (3) best mitigation configuration.
-    c_after = bed.optimize_attenuations(neighbors, level_step=level_step)
-    f_after = bed.utility()
+    with trace.span("magus.testbed.optimize_after"):
+        c_after = bed.optimize_attenuations(neighbors,
+                                            level_step=level_step)
+        f_after = bed.utility()
 
     # (4) reactive climb: single-cell attenuation decreases, measured.
-    reactive_trace = _reactive_climb(bed, c_before, neighbors,
-                                     target_enb, level_step)
+    with trace.span("magus.testbed.reactive_climb"):
+        reactive_trace = _reactive_climb(bed, c_before, neighbors,
+                                         target_enb, level_step)
+    _LOG.info("testbed target=%d f_before=%.3f f_upgrade=%.3f "
+              "f_after=%.3f reactive_steps=%d", target_enb, f_before,
+              f_upgrade, f_after, max(len(reactive_trace) - 1, 0))
 
     timeline = _build_timeline(f_before, f_upgrade, f_after,
                                reactive_trace, pre_ticks, post_ticks)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.linkrate import LinkAdaptation
+from ..obs import get_registry
 from .channel import IndoorChannel
 from .enodeb import ENodeB
 from .epc import EvolvedPacketCore
@@ -165,6 +166,7 @@ class LTETestbed:
 
     def utility(self) -> float:
         """The paper's testbed metric: ``sum log10(rate in Mb/s)``."""
+        get_registry().counter("magus.testbed.measurements").inc()
         total = 0.0
         for rate in self.measure_throughput().values():
             mbps = rate / 1e6

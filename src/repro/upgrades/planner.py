@@ -20,10 +20,13 @@ from ..core.search import PowerSearchSettings
 from ..core.tilt import TiltSearchSettings
 from ..core.utility import UtilityFunction
 from ..handover.migration import MigrationStats, reduction_factor
+from ..obs import get_logger, trace
 from ..synthetic.market import StudyArea
 from .scenario import UpgradeScenario, select_targets
 
 __all__ = ["UpgradeOutcome", "UpgradePlanner"]
+
+_LOG = get_logger("upgrades.planner")
 
 
 @dataclass
@@ -86,12 +89,17 @@ class UpgradePlanner:
         """
         targets = (tuple(target_sectors) if target_sectors is not None
                    else select_targets(self.area, scenario))
-        plan = self.magus.plan_mitigation(targets, tuning=tuning)
-        gradual = None
-        direct = None
-        if with_gradual:
-            gradual = self.magus.gradual_schedule(plan, gradual_settings)
-            direct = self.magus.direct_migration_stats(plan)
+        with trace.span("magus.upgrade_outcome", area=self.area.name,
+                        scenario=scenario.value, tuning=tuning):
+            plan = self.magus.plan_mitigation(targets, tuning=tuning)
+            gradual = None
+            direct = None
+            if with_gradual:
+                gradual = self.magus.gradual_schedule(plan,
+                                                      gradual_settings)
+                direct = self.magus.direct_migration_stats(plan)
+        _LOG.info("outcome area=%s scenario=%s tuning=%s recovery=%.4f",
+                  self.area.name, scenario.value, tuning, plan.recovery)
         return UpgradeOutcome(area_name=self.area.name, scenario=scenario,
                               tuning=tuning, plan=plan,
                               gradual=gradual, direct_stats=direct)

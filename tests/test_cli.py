@@ -21,6 +21,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mitigate", "--tuning", "magic"])
 
+    def test_obs_flags(self):
+        args = build_parser().parse_args(
+            ["-vv", "mitigate", "--metrics-out", "run.json", "--trace"])
+        assert args.verbose == 2
+        assert args.metrics_out == "run.json"
+        assert args.trace
+
+    def test_obs_flags_default_off(self):
+        args = build_parser().parse_args(["testbed"])
+        assert args.verbose == 0
+        assert args.metrics_out is None
+        assert not args.trace
+
 
 class TestCommands:
     def test_calendar_command(self, capsys):
@@ -34,6 +47,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "f(C_before)" in out
         assert "proactive" in out
+
+    def test_testbed_metrics_out(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "tb.json"
+        assert main(["testbed", "--scenario", "2",
+                     "--metrics-out", str(path), "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        data = json.loads(path.read_text())
+        assert data["schema"] == "magus.run-report/1"
+        assert data["total_model_evaluations"] > 0
+        assert any(p["name"].startswith("magus.testbed.")
+                   for p in data["phases"])
+        # Observability is torn down again after the run.
+        from repro.obs import NULL_REGISTRY, get_registry, trace
+        assert get_registry() is NULL_REGISTRY
+        assert not trace.enabled
 
     @pytest.mark.slow
     def test_area_command(self, capsys, monkeypatch):
@@ -56,6 +86,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovery ratio" in out
         assert "peak" in out
+
+    @pytest.mark.slow
+    def test_mitigate_metrics_out(self, capsys, monkeypatch, tmp_path):
+        import json
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        path = tmp_path / "run.json"
+        assert main(["mitigate", "--tuning", "power", "--seed", "1",
+                     "--metrics-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["schema"] == "magus.run-report/1"
+        # The report's totals agree with the tuning trace.
+        assert data["total_model_evaluations"] == sum(
+            it["evaluations"] for it in data["iterations"])
+        assert len(data["utility_trajectory"]) == \
+            len(data["iterations"]) + 1
+        assert any(p["name"] == "magus.power_pass"
+                   for p in data["phases"])
+        assert data["metrics"]["magus.evaluator.model_evaluations"][
+            "value"] >= data["total_model_evaluations"]
 
 
 class TestValidateCommand:
