@@ -26,8 +26,9 @@ from typing import List, Optional
 from .analysis.ascii_map import render_serving_map
 from .analysis.report import format_series, format_table
 from .core.magus import Magus, TUNING_STRATEGIES
-from .obs import (MetricsRegistry, RunReport, get_registry, set_registry,
-                  setup_logging, trace, verbosity_to_level)
+from .faults import FaultInjector, FaultPlan
+from .obs import (MetricsRegistry, RunReport, get_logger, get_registry,
+                  set_registry, setup_logging, trace, verbosity_to_level)
 from .synthetic.calendar import (UpgradeCalendarGenerator, duration_stats,
                                  weekday_histogram)
 from .synthetic.market import build_area
@@ -36,7 +37,15 @@ from .testbed.experiment import run_upgrade_experiment
 from .testbed.testbed import build_scenario_one, build_scenario_two
 from .upgrades.scenario import UpgradeScenario, select_targets
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_ROLLOUT_ABORTED",
+           "EXIT_INPUT_REJECTED"]
+
+_LOG = get_logger("cli")
+
+#: A resilient rollout exhausted its retries and fell back.
+EXIT_ROLLOUT_ABORTED = 3
+#: A fault plan corrupted the inputs and the model guards rejected them.
+EXIT_INPUT_REJECTED = 4
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
                           default="performance")
     mitigate.add_argument("--gradual", action="store_true",
                           help="also compute the gradual migration schedule")
+    mitigate.add_argument("--faults", metavar="PLAN.json", default=None,
+                          help="inject the failure scenario described by "
+                               "a magus.fault-plan/1 file and execute the "
+                               "gradual schedule resiliently")
+    mitigate.add_argument("--checkpoint", metavar="RUN.ckpt", default=None,
+                          help="checkpoint every accepted rollout step to "
+                               "this file and resume from it if present")
     _add_obs_args(mitigate)
 
     testbed = sub.add_parser("testbed", help="run a Section-3 scenario")
@@ -178,15 +194,34 @@ def _cmd_area(args) -> int:
 
 
 def _cmd_mitigate(args) -> int:
+    fault_plan = None
+    injector = None
+    if args.faults:
+        fault_plan = FaultPlan.load(args.faults)
+        injector = FaultInjector(fault_plan)
     with trace.span("magus.build_area", area_type=args.area_type):
         area = build_area(AreaType(args.area_type), seed=args.seed)
+    if injector is not None and fault_plan.pathloss is not None:
+        injector.corrupt_pathloss(area.engine.pathloss)
     scenario = UpgradeScenario.from_label(args.scenario)
     targets = select_targets(area, scenario)
     magus = Magus.from_area(area, utility=args.utility)
-    plan = magus.plan_mitigation(targets, tuning=args.tuning)
+    status = 0
+    try:
+        plan = magus.plan_mitigation(targets, tuning=args.tuning)
+    except ValueError as exc:
+        if injector is None:
+            raise
+        # Fault-injected corrupt inputs: the model guards rejected
+        # them — report structurally, not as a traceback.
+        _LOG.error("mitigation rejected corrupt inputs: %s", exc)
+        print(f"input-rejected command=mitigate seed={args.seed} "
+              f"error={exc}", file=sys.stderr)
+        return EXIT_INPUT_REJECTED
     for line in plan.describe():
         print(line)
-    if args.gradual:
+    run_rollout = bool(args.faults or args.checkpoint)
+    if args.gradual or run_rollout:
         gradual = magus.gradual_schedule(plan)
         direct = magus.direct_migration_stats(plan)
         stats = gradual.stats()
@@ -196,14 +231,35 @@ def _cmd_mitigate(args) -> int:
         print(f"direct-tuning peak: "
               f"{direct.peak_simultaneous_ues:.0f} UEs "
               f"(x{gradual.reduction_vs(direct):.1f} reduction)")
+        if run_rollout:
+            from .faults import ResilientExecutor
+            executor = ResilientExecutor(
+                magus.evaluator, network=magus.network,
+                injector=injector, checkpoint_path=args.checkpoint)
+            rollout = executor.execute(gradual)
+            print()
+            for line in rollout.describe():
+                print(line)
+            if not rollout.completed:
+                _LOG.error(
+                    "rollout aborted reason=%s steps_applied=%d "
+                    "retries=%d fallback=last-known-good",
+                    rollout.reason, rollout.steps_applied,
+                    rollout.retries)
+                print(f"rollout-aborted reason={rollout.reason} "
+                      f"steps_applied={rollout.steps_applied} "
+                      f"retries={rollout.retries} "
+                      f"fallback=last-known-good", file=sys.stderr)
+                status = EXIT_ROLLOUT_ABORTED
     if args.metrics_out or args.trace:
         report = RunReport.from_mitigation(
             plan, command="mitigate", registry=get_registry(),
             tracer=trace,
             meta={"area_type": args.area_type, "seed": args.seed,
-                  "scenario": args.scenario, "tuning": args.tuning})
+                  "scenario": args.scenario, "tuning": args.tuning,
+                  "fault_plan": args.faults})
         _emit_report(report, args)
-    return 0
+    return status
 
 
 def _cmd_testbed(args) -> int:

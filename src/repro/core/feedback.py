@@ -81,15 +81,25 @@ class FeedbackResult:
 def reactive_feedback(evaluator: Evaluator, network: CellularNetwork,
                       start_config: Configuration,
                       target_sectors: Sequence[int],
-                      settings: FeedbackSettings | None = None
-                      ) -> FeedbackResult:
-    """Hill-climb single-unit moves until no move improves utility."""
+                      settings: FeedbackSettings | None = None,
+                      injector=None) -> FeedbackResult:
+    """Hill-climb single-unit moves until no move improves utility.
+
+    ``injector`` (a :class:`~repro.faults.FaultInjector`) perturbs
+    every *measured* utility with its measurement-noise spec — the
+    controller then ranks and accepts moves on dirty readings, exactly
+    the failure mode that makes real SON tuning slow and wobbly.  The
+    reported trace contains the noisy measurements (that is all a
+    feedback controller ever sees).
+    """
     settings = settings or FeedbackSettings()
+    measure = (injector.measure if injector is not None
+               else lambda value: value)
     neighbors = network.neighbors_of(
         target_sectors, radius_m=settings.neighbor_radius_m,
         max_neighbors=settings.max_neighbors)
     config = start_config
-    f_current = evaluator.utility_of(config)
+    f_current = measure(evaluator.utility_of(config))
     utility_trace = [f_current]
     changes: List[ConfigChange] = []
     idealized = 0
@@ -108,7 +118,7 @@ def reactive_feedback(evaluator: Evaluator, network: CellularNetwork,
             meter = evaluator.cost_meter()
             best: Optional[Tuple[float, Configuration, ConfigChange]] = None
             for trial_cfg, change in candidates:
-                f_trial = evaluator.utility_of(trial_cfg)
+                f_trial = measure(evaluator.utility_of(trial_cfg))
                 if best is None or f_trial > best[0]:
                     best = (f_trial, trial_cfg, change)
             assert best is not None

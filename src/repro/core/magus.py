@@ -189,16 +189,45 @@ class Magus:
         return simulate_direct(self.evaluator, plan.c_before, plan.c_after)
 
     # ------------------------------------------------------------------
+    def execute_rollout(self, plan: MitigationResult,
+                        settings: Optional[GradualSettings] = None,
+                        *, policy=None, injector=None,
+                        checkpoint_path: Optional[str] = None,
+                        apply_fn=None, floor_tolerance: float = 1e-6):
+        """Plan the gradual schedule for ``plan`` and apply it resiliently.
+
+        Returns ``(gradual, rollout)`` — the
+        :class:`~repro.core.gradual.GradualResult` schedule and the
+        :class:`~repro.faults.RolloutResult` of executing it through a
+        :class:`~repro.faults.ResilientExecutor` (retry/backoff on
+        failed pushes, ``f(C_after)``-floor validation of every step,
+        last-known-good fallback, checkpoint/resume when
+        ``checkpoint_path`` is given).
+        """
+        # Imported lazily: repro.faults depends on repro.core, so a
+        # module-level import here would be circular.
+        from ..faults.executor import ResilientExecutor
+        gradual = self.gradual_schedule(plan, settings)
+        executor = ResilientExecutor(
+            self.evaluator, network=self.network, policy=policy,
+            injector=injector, apply_fn=apply_fn,
+            checkpoint_path=checkpoint_path,
+            floor_tolerance=floor_tolerance)
+        return gradual, executor.execute(gradual)
+
+    # ------------------------------------------------------------------
     def reactive_feedback_run(self, target_sectors: Sequence[int],
                               settings: Optional[FeedbackSettings] = None,
-                              warm_start: Optional[Configuration] = None
-                              ) -> FeedbackResult:
+                              warm_start: Optional[Configuration] = None,
+                              injector=None) -> FeedbackResult:
         """The SON-style comparator, optionally warm-started.
 
         ``warm_start=plan.c_after`` realizes the paper's future-work
-        idea of seeding feedback control with Magus's model output.
+        idea of seeding feedback control with Magus's model output;
+        ``injector`` corrupts the controller's measurements per its
+        fault plan.
         """
         targets = tuple(target_sectors)
         start = warm_start or self.default_config.with_offline(targets)
         return reactive_feedback(self.evaluator, self.network, start,
-                                 targets, settings)
+                                 targets, settings, injector=injector)

@@ -60,9 +60,12 @@ class PerformanceUtility(UtilityFunction):
     name = "performance"
 
     def per_ue(self, rate_bps: np.ndarray) -> np.ndarray:
+        # Zero, negative and non-finite rates (a dead sector under
+        # fault injection yields 0; corrupt feeds can yield NaN/inf)
+        # all contribute 0 — no -inf, no numpy warning.
         rate = np.asarray(rate_bps, dtype=float)
-        with np.errstate(divide="ignore"):
-            return np.where(rate > 0.0, np.log(np.maximum(rate, 1e-300)), 0.0)
+        served = np.isfinite(rate) & (rate > 0.0)
+        return np.where(served, np.log(np.where(served, rate, 1.0)), 0.0)
 
 
 class CoverageUtility(UtilityFunction):
@@ -71,7 +74,8 @@ class CoverageUtility(UtilityFunction):
     name = "coverage"
 
     def per_ue(self, rate_bps: np.ndarray) -> np.ndarray:
-        return (np.asarray(rate_bps, dtype=float) > 0.0).astype(float)
+        rate = np.asarray(rate_bps, dtype=float)
+        return (np.isfinite(rate) & (rate > 0.0)).astype(float)
 
 
 class SumRateUtility(UtilityFunction):
@@ -80,7 +84,8 @@ class SumRateUtility(UtilityFunction):
     name = "sum-rate"
 
     def per_ue(self, rate_bps: np.ndarray) -> np.ndarray:
-        return np.asarray(rate_bps, dtype=float)
+        rate = np.asarray(rate_bps, dtype=float)
+        return np.where(np.isfinite(rate) & (rate > 0.0), rate, 0.0)
 
 
 _REGISTRY: Dict[str, Type[UtilityFunction]] = {

@@ -1,0 +1,37 @@
+"""Fault injection and resilient rollout execution.
+
+The package has two halves that meet in the middle:
+
+* **injection** — :class:`FaultPlan` (a JSON-serializable, seedable
+  description of what goes wrong: corrupt path-loss entries, noisy
+  feedback measurements, failed/delayed configuration pushes,
+  mid-rollout sector crashes) realized deterministically by
+  :class:`FaultInjector`;
+* **resilience** — :class:`ResilientExecutor`, which applies a gradual
+  migration schedule with retry/backoff, validates every step against
+  the ``f(C_after)`` utility floor of the paper's gradual-tuning
+  guarantee, falls back to last-known-good on exhaustion, and
+  checkpoints each accepted step (``magus.checkpoint/1``) so a killed
+  run resumes byte-identically.
+
+Nothing here is active by default: with no plan and no checkpoint the
+instrumented call sites reduce to ``None`` checks.
+"""
+
+from .checkpoint import (CHECKPOINT_SCHEMA, RolloutCheckpoint,
+                         decode_config, encode_config, schedule_run_id)
+from .errors import ConfigPushError, RolloutAborted
+from .executor import ResilientExecutor, RetryPolicy, RolloutResult
+from .injector import FaultInjector, PushOutcome
+from .plan import (PLAN_SCHEMA, FaultPlan, MeasurementNoise,
+                   PathLossFaults, PushFaults, SectorCrash)
+
+__all__ = [
+    "FaultPlan", "PathLossFaults", "MeasurementNoise", "PushFaults",
+    "SectorCrash", "PLAN_SCHEMA",
+    "FaultInjector", "PushOutcome",
+    "ConfigPushError", "RolloutAborted",
+    "RetryPolicy", "RolloutResult", "ResilientExecutor",
+    "RolloutCheckpoint", "CHECKPOINT_SCHEMA", "encode_config",
+    "decode_config", "schedule_run_id",
+]

@@ -1,0 +1,122 @@
+"""JSON checkpoints for in-flight rollouts (schema ``magus.checkpoint/1``).
+
+A killed ``mitigate`` invocation must restart from the last *accepted*
+gradual step, not re-search: the executor writes one checkpoint after
+every committed step, and on resume verifies the file belongs to the
+same schedule (``run_id`` is a content hash over the encoded schedule
+and the utility floor) before skipping ahead.
+
+Configurations are encoded positionally — ``[power_dbm, tilt_deg,
+active, azimuth_offset_deg]`` per sector with floats round-tripped via
+``repr`` (exact for IEEE doubles) — so a resumed run's final
+configuration is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..model.network import Configuration, SectorSetting
+
+__all__ = ["RolloutCheckpoint", "CHECKPOINT_SCHEMA", "encode_config",
+           "decode_config", "schedule_run_id"]
+
+CHECKPOINT_SCHEMA = "magus.checkpoint/1"
+
+
+def encode_config(config: Configuration) -> List[List[object]]:
+    """Positional JSON-safe encoding of every sector's setting."""
+    return [[s.power_dbm, s.tilt_deg, bool(s.active), s.azimuth_offset_deg]
+            for s in config.settings]
+
+
+def decode_config(data: Sequence[Sequence[object]]) -> Configuration:
+    """Inverse of :func:`encode_config`."""
+    return Configuration(tuple(
+        SectorSetting(power_dbm=float(p), tilt_deg=float(t),
+                      active=bool(a), azimuth_offset_deg=float(o))
+        for p, t, a, o in data))
+
+
+def schedule_run_id(configs: Sequence[Configuration],
+                    floor_utility: float) -> str:
+    """Content hash identifying one rollout schedule.
+
+    Two schedules agree on the id iff they agree on every sector
+    setting of every step and on the floor — exactly the condition
+    under which resuming from a checkpoint is sound.
+    """
+    payload = json.dumps(
+        {"configs": [encode_config(c) for c in configs],
+         "floor": repr(float(floor_utility))},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RolloutCheckpoint:
+    """Resume state after the last accepted rollout step."""
+
+    run_id: str
+    step: int                        # schedule index of the last commit
+    last_good: Configuration         # the realized committed config
+    utilities: List[float]           # committed utility trajectory
+    floor_utility: float
+    retries: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "run_id": self.run_id,
+            "step": self.step,
+            "last_good": encode_config(self.last_good),
+            "utilities": [repr(float(u)) for u in self.utilities],
+            "floor_utility": repr(float(self.floor_utility)),
+            "retries": self.retries,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RolloutCheckpoint":
+        schema = data.get("schema")
+        if schema != CHECKPOINT_SCHEMA:
+            raise ValueError(f"unsupported checkpoint schema {schema!r}; "
+                             f"expected {CHECKPOINT_SCHEMA!r}")
+        return cls(
+            run_id=str(data["run_id"]),
+            step=int(data["step"]),
+            last_good=decode_config(data["last_good"]),
+            utilities=[float(u) for u in data.get("utilities", [])],
+            floor_utility=float(data["floor_utility"]),
+            retries=int(data.get("retries", 0)),
+            meta=dict(data.get("meta", {})))
+
+    def save(self, path: str) -> None:
+        """Atomic write: a crash mid-save never corrupts the file."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "RolloutCheckpoint":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.from_dict(json.load(fh))
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            raise ValueError(
+                f"cannot load checkpoint {path!r}: {exc}") from exc
+
+    @classmethod
+    def load_if_exists(cls, path: Optional[str]
+                       ) -> Optional["RolloutCheckpoint"]:
+        if path is None or not os.path.exists(path):
+            return None
+        return cls.load(path)

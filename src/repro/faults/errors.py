@@ -1,0 +1,27 @@
+"""Exception types shared by the fault framework and its consumers."""
+
+from __future__ import annotations
+
+__all__ = ["ConfigPushError", "RolloutAborted"]
+
+
+class ConfigPushError(RuntimeError):
+    """A configuration push to the network (or testbed) did not land.
+
+    Raised by fault-injected ``apply_configuration`` paths and by
+    custom ``apply_fn`` callables handed to the resilient executor;
+    the executor treats it as transient and retries with backoff.
+    """
+
+
+class RolloutAborted(RuntimeError):
+    """A resilient rollout exhausted its retries and fell back.
+
+    Carries the partial :class:`~repro.faults.executor.RolloutResult`
+    (``.result``) so callers can inspect the last-known-good
+    configuration and the committed utility trajectory.
+    """
+
+    def __init__(self, message: str, result=None) -> None:
+        super().__init__(message)
+        self.result = result

@@ -1,0 +1,144 @@
+"""The seeded fault injector: turns a :class:`FaultPlan` into failures.
+
+All randomness flows through the same named-stream seeding discipline
+as :mod:`repro.synthetic.rng` (one independent ``numpy`` generator per
+fault class under the plan's master seed), so a scenario replays
+exactly across runs and — crucially for checkpoint/resume — the
+*declarative* faults (crash schedule, per-step push failures) are pure
+functions of the plan, independent of how many random draws preceded
+them.
+
+Every injection bumps a ``magus.faults.*`` counter in the active
+metrics registry; with the default :class:`~repro.obs.NullRegistry`
+and no plan, instrumented call sites cost a ``None`` check and nothing
+else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..obs import get_logger, get_registry
+from ..synthetic.rng import stream
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector", "PushOutcome"]
+
+_LOG = get_logger("faults.injector")
+
+
+@dataclass(frozen=True)
+class PushOutcome:
+    """The injector's verdict on one configuration-push attempt."""
+
+    fail: bool = False
+    delay_s: float = 0.0
+
+
+_PUSH_OK = PushOutcome()
+
+
+class FaultInjector:
+    """Deterministic realization of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._pathloss_rng = stream(plan.seed, "faults.pathloss")
+        self._measurement_rng = stream(plan.seed, "faults.measurement")
+        self._push_rng = stream(plan.seed, "faults.push")
+        self._push_count = 0
+
+    # ------------------------------------------------------------------
+    # path-loss corruption (dirty model inputs)
+    # ------------------------------------------------------------------
+    def corrupt_pathloss(self, db) -> list:
+        """Corrupt entries of a ``PathLossDatabase`` in place.
+
+        Returns the corrupted sector ids.  The database's own finite
+        guards then reject the dirty matrices with an actionable error
+        the moment a search touches them — this is the "garbage must
+        not reach SINR" contract the robustness tests pin down.
+        """
+        spec = self.plan.pathloss
+        if spec is None or spec.n_sectors == 0:
+            return []
+        registry = get_registry()
+        n = min(spec.n_sectors, db.network.n_sectors)
+        sector_ids = sorted(self._pathloss_rng.choice(
+            db.network.n_sectors, size=n, replace=False).tolist())
+        for sid in sector_ids:
+            raster = db._rasters[sid]
+            if spec.mode == "stale-tilt":
+                # An out-of-date elevation raster: the commanded tilt no
+                # longer matches the angles the matrix was computed for.
+                raster.theta_deg = np.roll(raster.theta_deg, 1, axis=0)
+            else:
+                n_cells = raster.loss_db.size
+                k = max(1, int(round(spec.cell_fraction * n_cells)))
+                flat_idx = self._pathloss_rng.choice(n_cells, size=k,
+                                                     replace=False)
+                value = np.nan if spec.mode == "nan" else np.inf
+                raster.loss_db.ravel()[flat_idx] = value
+            registry.counter("magus.faults.pathloss_corruptions").inc()
+        db.invalidate_caches()
+        _LOG.warning("corrupted path-loss data mode=%s sectors=%s",
+                     spec.mode, sector_ids)
+        return sector_ids
+
+    # ------------------------------------------------------------------
+    # measurement noise (dirty feedback)
+    # ------------------------------------------------------------------
+    def measure(self, value: float) -> float:
+        """A noisy reading of ``value`` per the measurement spec."""
+        spec = self.plan.measurement
+        if spec is None:
+            return value
+        registry = get_registry()
+        noisy = value
+        if spec.gaussian_sigma > 0.0:
+            noisy += spec.gaussian_sigma * self._measurement_rng.standard_normal()
+        if spec.impulse_prob > 0.0 and \
+                self._measurement_rng.random() < spec.impulse_prob:
+            sign = 1.0 if self._measurement_rng.random() < 0.5 else -1.0
+            noisy += sign * spec.impulse_magnitude
+            registry.counter("magus.faults.measurement_impulses").inc()
+        registry.counter("magus.faults.noisy_measurements").inc()
+        return noisy
+
+    # ------------------------------------------------------------------
+    # configuration pushes (flaky actuation)
+    # ------------------------------------------------------------------
+    def push_outcome(self, step: Optional[int] = None,
+                     attempt: int = 0) -> PushOutcome:
+        """Fail/delay verdict for one push attempt.
+
+        ``step`` is the rollout step index (when the caller has one;
+        the testbed uses its own running push count); ``attempt`` is
+        the retry ordinal within the step, so ``fail_steps`` faults are
+        transient — they clear after ``fail_attempts`` retries.
+        """
+        spec = self.plan.push
+        self._push_count += 1
+        if spec is None:
+            return _PUSH_OK
+        registry = get_registry()
+        index = step if step is not None else self._push_count - 1
+        fail = index in spec.fail_steps and attempt < spec.fail_attempts
+        if not fail and spec.fail_prob > 0.0:
+            fail = bool(self._push_rng.random() < spec.fail_prob)
+        if fail:
+            registry.counter("magus.faults.push_failures").inc()
+            return PushOutcome(fail=True)
+        if spec.delay_s > 0.0:
+            registry.counter("magus.faults.push_delays").inc()
+        return PushOutcome(fail=False, delay_s=spec.delay_s)
+
+    # ------------------------------------------------------------------
+    # sector crashes (mid-rollout hardware loss)
+    # ------------------------------------------------------------------
+    def crashed_sectors(self, step: int) -> frozenset:
+        """Sectors crashed at or before ``step`` (pure, replayable)."""
+        return self.plan.crashed_sectors(step)

@@ -1,0 +1,207 @@
+"""Declarative, seedable fault plans (schema ``magus.fault-plan/1``).
+
+A :class:`FaultPlan` describes *what goes wrong* during a mitigation
+run, in the vocabulary of the operational failures the paper's premises
+quietly assume away: clean Atoll path-loss feeds (Section 4.2),
+configuration pushes that always land (Section 5) and feedback
+measurements that arrive on time and uncorrupted (Sections 2 and 6).
+The plan itself contains **no randomness** — it is a JSON-serializable
+value object — and every stochastic choice a
+:class:`~repro.faults.injector.FaultInjector` later makes from it is
+derived from ``seed`` through the same named-stream discipline as the
+synthetic market generators, so any failure scenario replays exactly.
+
+Fault classes:
+
+* :class:`PathLossFaults` — corrupt entries of the path-loss database
+  (NaN rows, +/-inf spikes, or *stale-tilt* rows where a sector's
+  elevation raster silently lags the commanded tilt);
+* :class:`MeasurementNoise` — Gaussian background noise plus sparse
+  impulse outliers on feedback measurements;
+* :class:`PushFaults` — configuration pushes that fail (transiently per
+  step, or at random) or land late;
+* :class:`SectorCrash` — a sector hard-failing at a given rollout step,
+  the mid-rollout disaster the resilient executor must survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["FaultPlan", "PathLossFaults", "MeasurementNoise",
+           "PushFaults", "SectorCrash", "PLAN_SCHEMA"]
+
+PLAN_SCHEMA = "magus.fault-plan/1"
+
+#: Corruption modes understood by ``FaultInjector.corrupt_pathloss``.
+_PATHLOSS_MODES = ("nan", "inf", "stale-tilt")
+
+
+@dataclass(frozen=True)
+class PathLossFaults:
+    """Dirty-input corruption of the path-loss database.
+
+    ``n_sectors`` sectors (chosen by the injector's seeded RNG) each
+    get ``cell_fraction`` of their raster cells corrupted; mode
+    ``stale-tilt`` instead replaces the sector's elevation-angle raster
+    with a shifted (out-of-date) copy, the way an Atoll export lags a
+    tilt change in the field.
+    """
+
+    n_sectors: int = 1
+    cell_fraction: float = 0.01
+    mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        if self.mode not in _PATHLOSS_MODES:
+            raise ValueError(f"unknown path-loss fault mode {self.mode!r}; "
+                             f"expected one of {_PATHLOSS_MODES}")
+        if not 0.0 <= self.cell_fraction <= 1.0:
+            raise ValueError("cell_fraction must be within [0, 1]")
+        if self.n_sectors < 0:
+            raise ValueError("n_sectors must be non-negative")
+
+
+@dataclass(frozen=True)
+class MeasurementNoise:
+    """Additive noise on feedback measurements (utility readings).
+
+    Gaussian background noise of ``gaussian_sigma`` plus, with
+    probability ``impulse_prob`` per measurement, an impulse outlier of
+    ``impulse_magnitude`` (random sign).
+    """
+
+    gaussian_sigma: float = 0.0
+    impulse_prob: float = 0.0
+    impulse_magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gaussian_sigma < 0:
+            raise ValueError("gaussian_sigma must be non-negative")
+        if not 0.0 <= self.impulse_prob <= 1.0:
+            raise ValueError("impulse_prob must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class PushFaults:
+    """Failed or delayed ``apply_configuration`` pushes.
+
+    ``fail_steps`` lists rollout step indices whose first
+    ``fail_attempts`` push attempts fail deterministically (the shape
+    retry/backoff tests need); ``fail_prob`` additionally fails any
+    attempt at random.  ``delay_s`` is added to every successful push
+    (the executor charges it against its per-step timeout).
+    """
+
+    fail_steps: Tuple[int, ...] = ()
+    fail_attempts: int = 1
+    fail_prob: float = 0.0
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_prob <= 1.0:
+            raise ValueError("fail_prob must be within [0, 1]")
+        if self.fail_attempts < 0:
+            raise ValueError("fail_attempts must be non-negative")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class SectorCrash:
+    """A sector hard-failing at rollout step ``at_step`` (inclusive).
+
+    Declarative rather than random so checkpoint/resume replays the
+    crash identically: the crashed set at any step is a pure function
+    of the plan.
+    """
+
+    sector_id: int
+    at_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sector_id < 0:
+            raise ValueError("sector_id must be non-negative")
+        if self.at_step < 0:
+            raise ValueError("at_step must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full failure scenario for one run, reproducible from ``seed``."""
+
+    seed: int = 0
+    pathloss: Optional[PathLossFaults] = None
+    measurement: Optional[MeasurementNoise] = None
+    push: Optional[PushFaults] = None
+    crashes: Tuple[SectorCrash, ...] = ()
+
+    # -- queries --------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (self.pathloss is None and self.measurement is None
+                and self.push is None and not self.crashes)
+
+    def crashed_sectors(self, step: int) -> frozenset:
+        """Sector ids crashed at or before rollout step ``step``."""
+        return frozenset(c.sector_id for c in self.crashes
+                         if c.at_step <= step)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"schema": PLAN_SCHEMA, "seed": self.seed}
+        if self.pathloss is not None:
+            out["pathloss"] = asdict(self.pathloss)
+        if self.measurement is not None:
+            out["measurement"] = asdict(self.measurement)
+        if self.push is not None:
+            push = asdict(self.push)
+            push["fail_steps"] = list(self.push.fail_steps)
+            out["push"] = push
+        if self.crashes:
+            out["crashes"] = [asdict(c) for c in self.crashes]
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ValueError(f"unsupported fault-plan schema {schema!r}; "
+                             f"expected {PLAN_SCHEMA!r}")
+        push_data = data.get("push")
+        if push_data is not None:
+            push_data = dict(push_data)
+            push_data["fail_steps"] = tuple(push_data.get("fail_steps", ()))
+        return cls(
+            seed=int(data.get("seed", 0)),
+            pathloss=(PathLossFaults(**data["pathloss"])
+                      if data.get("pathloss") else None),
+            measurement=(MeasurementNoise(**data["measurement"])
+                         if data.get("measurement") else None),
+            push=PushFaults(**push_data) if push_data else None,
+            crashes=tuple(SectorCrash(**c)
+                          for c in data.get("crashes", ())))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.from_json(fh.read())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot load fault plan {path!r}: {exc}") \
+                from exc
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

@@ -33,6 +33,10 @@ __all__ = ["Sector", "BaseStation", "Configuration", "CellularNetwork",
 #: The typical sectorization the paper assumes.
 SECTORS_PER_SITE = 3
 
+#: Slack for float round-off in range validation (never masks a real
+#: out-of-range setting — those are whole dB / whole degrees off).
+_VALIDATE_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class Sector:
@@ -109,6 +113,50 @@ class Configuration:
     """
 
     settings: Tuple[SectorSetting, ...]
+
+    def __post_init__(self) -> None:
+        # Reject NaN/inf parameters at construction: a corrupt setting
+        # caught here names its sector; caught later it is an
+        # inexplicable NaN utility three layers down.
+        bad = [i for i, s in enumerate(self.settings)
+               if not (math.isfinite(s.power_dbm)
+                       and math.isfinite(s.tilt_deg)
+                       and math.isfinite(s.azimuth_offset_deg))]
+        if bad:
+            raise ValueError(
+                f"non-finite power/tilt/azimuth settings for sectors "
+                f"{bad}; configurations must be fully finite")
+
+    def validate_against(self, network: "CellularNetwork") -> None:
+        """Range-check every setting against the network's hardware.
+
+        Raises :class:`ValueError` listing each offending sector with
+        its out-of-range power (outside ``[min, max_power_dbm]``) or
+        tilt (outside the sector's tilt catalogue), so a bad push is
+        rejected before it reaches the air interface.
+        """
+        if network.n_sectors != self.n_sectors:
+            raise ValueError(
+                f"configuration covers {self.n_sectors} sectors but the "
+                f"network has {network.n_sectors}")
+        problems = []
+        for i, setting in enumerate(self.settings):
+            sector = network.sector(i)
+            if not (sector.min_power_dbm - _VALIDATE_EPS
+                    <= setting.power_dbm
+                    <= sector.max_power_dbm + _VALIDATE_EPS):
+                problems.append(
+                    f"sector {i}: power {setting.power_dbm:.2f} dBm "
+                    f"outside [{sector.min_power_dbm:.2f}, "
+                    f"{sector.max_power_dbm:.2f}]")
+            tr = sector.tilt_range
+            if not (tr.min_deg - _VALIDATE_EPS <= setting.tilt_deg
+                    <= tr.max_deg + _VALIDATE_EPS):
+                problems.append(
+                    f"sector {i}: tilt {setting.tilt_deg:.2f} deg "
+                    f"outside [{tr.min_deg:.2f}, {tr.max_deg:.2f}]")
+        if problems:
+            raise ValueError("invalid configuration: " + "; ".join(problems))
 
     # -- accessors ------------------------------------------------------
     @property

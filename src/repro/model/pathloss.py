@@ -80,6 +80,31 @@ class PathLossDatabase:
         self._rasters = list(rasters)
         self._tensor_cache: Dict[bytes, np.ndarray] = {}
         self._shared_profiles: Dict[float, np.ndarray] = {}
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject NaN/inf raster data with an actionable error.
+
+        Corrupt Atoll exports (the operational reality Section 4.2's
+        clean-feed assumption hides) must fail here, naming the bad
+        sectors, instead of silently propagating NaN into SINR.
+        """
+        bad = []
+        for sid, raster in enumerate(self._rasters):
+            if not (np.isfinite(raster.loss_db).all()
+                    and np.isfinite(raster.horiz_att_db).all()
+                    and np.isfinite(raster.theta_deg).all()):
+                bad.append(sid)
+        if bad:
+            raise ValueError(
+                f"path-loss database contains NaN/inf entries for "
+                f"sectors {bad}; repair or re-export the matrices "
+                f"before evaluation")
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized tensors/profiles after in-place raster edits."""
+        self._tensor_cache.clear()
+        self._shared_profiles.clear()
 
     # ------------------------------------------------------------------
     # construction
@@ -177,6 +202,16 @@ class PathLossDatabase:
             cached = np.stack([self.gain_matrix(i, t, o)
                                for i, (t, o)
                                in enumerate(zip(tilts, offsets))])
+            # One finite pass per cache miss (the search's power-only
+            # re-evaluations hit the cache and skip it): data corrupted
+            # *after* construction must still never reach SINR.
+            if not np.isfinite(cached).all():
+                offenders = sorted(
+                    set(np.argwhere(~np.isfinite(cached))[:, 0].tolist()))
+                raise ValueError(
+                    f"path-loss gain tensor contains NaN/inf for sectors "
+                    f"{offenders}; the database was corrupted after "
+                    f"construction — rebuild it or run validate()")
             if len(self._tensor_cache) > 8:
                 self._tensor_cache.clear()
             self._tensor_cache[key] = cached

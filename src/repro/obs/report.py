@@ -182,7 +182,26 @@ class RunReport:
             for p in self.phases:
                 lines.append(f"{p['name']:<{width}}  "
                              f"{p['calls']:>5}  {p['wall_time_s']:>9.4f}")
+        resilience = self.resilience_metrics()
+        if resilience:
+            lines.append("resilience:")
+            width = max(len(name) for name in resilience)
+            for name, value in resilience.items():
+                lines.append(f"  {name:<{width}}  {value}")
         return "\n".join(lines)
+
+    def resilience_metrics(self) -> Dict[str, object]:
+        """Fault/retry/degradation counters, if any were recorded.
+
+        Empty when no fault plan or resilient executor ran — the
+        NullRegistry pattern guarantees disabled fault machinery adds
+        no keys anywhere.
+        """
+        out: Dict[str, object] = {}
+        for name, stats in self.metrics.items():
+            if name.startswith(("magus.faults.", "magus.resilience.")):
+                out[name] = stats.get("value")
+        return out
 
 
 def _phases_from_metrics(metrics: Dict[str, Dict[str, object]]

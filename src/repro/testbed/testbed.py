@@ -42,10 +42,15 @@ class LTETestbed:
                  channel: Optional[IndoorChannel] = None,
                  link: Optional[LinkAdaptation] = None,
                  tcp: Optional[TcpModel] = None,
-                 noise_dbm: float = _DEFAULT_NOISE_DBM) -> None:
+                 noise_dbm: float = _DEFAULT_NOISE_DBM,
+                 injector=None) -> None:
         if not enodebs or not ues:
             raise ValueError("testbed needs eNodeBs and UEs")
         self.noise_dbm = noise_dbm
+        #: Optional :class:`~repro.faults.FaultInjector`: makes
+        #: configuration pushes fail per its plan and KPI measurements
+        #: noisy, the way real maintenance windows behave.
+        self.injector = injector
         self.enodebs = {e.enb_id: e for e in enodebs}
         self.ues = {u.ue_id: u for u in ues}
         self.channel = channel or IndoorChannel()
@@ -147,6 +152,12 @@ class LTETestbed:
         return {i: e.attenuation for i, e in self.enodebs.items()}
 
     def apply_configuration(self, config: Dict[int, int]) -> None:
+        if self.injector is not None:
+            outcome = self.injector.push_outcome()
+            if outcome.fail:
+                from ..faults.errors import ConfigPushError
+                raise ConfigPushError(
+                    "testbed configuration push failed (injected)")
         for enb_id, level in config.items():
             self.enodebs[enb_id].set_attenuation(level)
         self.reselect()
@@ -172,6 +183,8 @@ class LTETestbed:
             mbps = rate / 1e6
             if mbps > 0:
                 total += math.log10(mbps)
+        if self.injector is not None:
+            total = self.injector.measure(total)
         return total
 
     # -- configuration search (the paper's step (d)) ------------------------------

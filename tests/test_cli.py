@@ -121,3 +121,74 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "coverage agreement" in out
         assert "SINR MAE" in out
+
+
+class TestFaultFlags:
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["mitigate", "--faults", "plan.json",
+             "--checkpoint", "run.ckpt"])
+        assert args.faults == "plan.json"
+        assert args.checkpoint == "run.ckpt"
+
+    def test_missing_plan_is_actionable(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot load fault plan"):
+            main(["mitigate", "--faults", str(tmp_path / "missing.json")])
+
+    @pytest.mark.slow
+    def test_rollout_abort_exit_code(self, capsys, monkeypatch, tmp_path):
+        """Exhausted push retries: distinct exit status plus one
+        structured stderr line, never a traceback."""
+        from repro.faults import FaultPlan, PushFaults
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        plan = tmp_path / "plan.json"
+        FaultPlan(seed=1, push=PushFaults(
+            fail_steps=tuple(range(1, 200)),
+            fail_attempts=99)).save(str(plan))
+        status = main(["mitigate", "--tuning", "power", "--seed", "1",
+                       "--faults", str(plan)])
+        assert status == 3
+        captured = capsys.readouterr()
+        assert "rollout-aborted reason=push-exhausted" in captured.err
+        assert "fallback=last-known-good" in captured.err
+        assert "rollout aborted" in captured.out
+
+    @pytest.mark.slow
+    def test_corrupt_inputs_exit_code(self, capsys, monkeypatch,
+                                      tmp_path):
+        """Corrupt path-loss feeds are rejected at the model boundary:
+        structured input-rejected line and its own exit status."""
+        from repro.faults import FaultPlan, PathLossFaults
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        plan = tmp_path / "plan.json"
+        FaultPlan(seed=1, pathloss=PathLossFaults(
+            n_sectors=2, cell_fraction=0.05, mode="nan")).save(str(plan))
+        status = main(["mitigate", "--tuning", "power", "--seed", "1",
+                       "--faults", str(plan)])
+        assert status == 4
+        captured = capsys.readouterr()
+        assert "input-rejected command=mitigate" in captured.err
+
+    @pytest.mark.slow
+    def test_clean_rollout_with_checkpoint(self, capsys, monkeypatch,
+                                           tmp_path):
+        import json
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        ckpt = tmp_path / "run.ckpt"
+        status = main(["mitigate", "--tuning", "power", "--seed", "1",
+                       "--checkpoint", str(ckpt)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "rollout completed" in out
+        data = json.loads(ckpt.read_text())
+        assert data["schema"] == "magus.checkpoint/1"
+        assert data["meta"]["status"] == "complete"

@@ -119,3 +119,52 @@ class TestConfiguration:
         cache = {config: 1}
         same = config.with_power(0, 44.0).with_power(0, 43.0)
         assert cache[same] == 1
+
+
+class TestConfigurationValidation:
+    @pytest.fixture
+    def network(self):
+        return CellularNetwork(make_sectors(
+            [(0.0, 0.0), (1_000.0, 0.0), (2_000.0, 0.0)]))
+
+    @pytest.fixture
+    def config(self, network):
+        return network.planned_configuration()
+
+    def test_nan_power_rejected_at_construction(self, config):
+        with pytest.raises(ValueError, match=r"sectors \[1\]"):
+            config.with_power(1, float("nan"))
+
+    def test_inf_tilt_rejected_at_construction(self, config):
+        with pytest.raises(ValueError, match="non-finite"):
+            config.with_tilt(2, float("-inf"))
+
+    def test_nan_azimuth_rejected_at_construction(self, config):
+        with pytest.raises(ValueError, match="non-finite"):
+            config.with_azimuth_offset(0, float("nan"))
+
+    def test_validate_against_accepts_planned(self, network, config):
+        config.validate_against(network)       # must not raise
+
+    def test_validate_against_rejects_high_power(self, network, config):
+        bad = config._replaced(1, power_dbm=60.0)
+        with pytest.raises(ValueError, match="sector 1: power"):
+            bad.validate_against(network)
+
+    def test_validate_against_rejects_bad_tilt(self, network, config):
+        bad = config._replaced(2, tilt_deg=45.0)
+        with pytest.raises(ValueError, match="sector 2: tilt"):
+            bad.validate_against(network)
+
+    def test_validate_against_lists_every_offender(self, network, config):
+        bad = config._replaced(0, power_dbm=60.0) \
+                    ._replaced(2, tilt_deg=-30.0)
+        with pytest.raises(ValueError) as err:
+            bad.validate_against(network)
+        assert "sector 0" in str(err.value)
+        assert "sector 2" in str(err.value)
+
+    def test_validate_against_wrong_sector_count(self, network, config):
+        partial = Configuration(config.settings[:2])
+        with pytest.raises(ValueError, match="covers 2 sectors"):
+            partial.validate_against(network)

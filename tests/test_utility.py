@@ -77,3 +77,32 @@ class TestRegistry:
     def test_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown utility"):
             get_utility("throughput")
+
+
+class TestNonFiniteRateGuards:
+    """Dead sectors report zero/NaN/inf rates; utilities must stay
+    finite (garbage rates mean "UE not served", never a NaN total)."""
+
+    BAD = np.asarray([0.0, -1.0, np.nan, np.inf, -np.inf])
+
+    def test_performance_treats_garbage_as_unserved(self):
+        values = PerformanceUtility().per_ue(self.BAD)
+        assert np.array_equal(values, np.zeros(5))
+
+    def test_coverage_treats_garbage_as_uncovered(self):
+        values = CoverageUtility().per_ue(self.BAD)
+        assert np.array_equal(values, np.zeros(5))
+
+    def test_sum_rate_ignores_garbage(self):
+        values = SumRateUtility().per_ue(self.BAD)
+        assert np.array_equal(values, np.zeros(5))
+
+    def test_served_ues_unaffected(self):
+        rates = np.asarray([np.nan, 2.0, 0.0, np.e])
+        values = PerformanceUtility().per_ue(rates)
+        assert values[1] == pytest.approx(np.log(2.0))
+        assert values[3] == pytest.approx(1.0)
+
+    def test_no_floating_point_warnings(self):
+        with np.errstate(all="raise"):
+            PerformanceUtility().per_ue(np.asarray([0.0, 1e5, 0.0]))
