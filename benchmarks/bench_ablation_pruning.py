@@ -29,7 +29,11 @@ def test_ablation_candidate_pruning(suburban_area, benchmark):
     def run_all():
         out = {}
         for prefilter in ("none", "rate", "sinr"):
-            evaluator = Evaluator(area.engine, area.ue_density)
+            # Pinned to the full strategy: this ablation compares the
+            # *model-evaluation budgets* of the prefilter modes, and the
+            # batched delta path counts whole candidate screens at once.
+            evaluator = Evaluator(area.engine, area.ue_density,
+                                  strategy="full")
             baseline = evaluator.state_of(c_before)
             result = tune_power(
                 evaluator, area.network, c_upgrade, baseline, targets,

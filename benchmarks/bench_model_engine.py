@@ -66,3 +66,37 @@ def test_tilt_tensor_rebuild(suburban_area, benchmark):
 
     tensor = benchmark(rebuild)
     assert tensor.shape[0] == area.network.n_sectors
+
+
+def test_engine_delta_evaluation(suburban_area, benchmark):
+    """One incremental single-sector re-evaluation (PR 4 delta path)."""
+    area = suburban_area
+    _, incumbent = area.engine.evaluate_with_incumbent(area.c_before,
+                                                       area.ue_density)
+    trial = area.c_before.with_power_delta(0, 1.0, max_power_dbm=46.0)
+
+    result = benchmark(lambda: area.engine.evaluate_delta(
+        incumbent, trial, area.ue_density))
+    assert result is not None
+    state, _ = result
+    assert state.rate_bps.shape == area.grid.shape
+
+
+def test_engine_batched_scoring(suburban_area, benchmark):
+    """Scoring a 16-candidate neighbor set in one batched call."""
+    area = suburban_area
+    base = area.c_before
+    _, incumbent = area.engine.evaluate_with_incumbent(base,
+                                                       area.ue_density)
+    trials = []
+    for b in range(area.network.n_sectors):
+        trial = base.with_power_delta(b, 1.0, max_power_dbm=46.0)
+        if trial != base:
+            trials.append(trial)
+        if len(trials) == 16:
+            break
+
+    batch = benchmark(lambda: area.engine.evaluate_batch(
+        incumbent, trials, area.ue_density))
+    assert batch is not None
+    assert batch.rate_bps.shape == (len(trials),) + area.grid.shape

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                           default="performance")
     mitigate.add_argument("--gradual", action="store_true",
                           help="also compute the gradual migration schedule")
+    mitigate.add_argument("--no-delta", action="store_true",
+                          help="disable the incremental delta-evaluation "
+                               "engine and run every candidate through "
+                               "the full Formula 1-4 pass (ablation "
+                               "baseline)")
     mitigate.add_argument("--faults", metavar="PLAN.json", default=None,
                           help="inject the failure scenario described by "
                                "a magus.fault-plan/1 file and execute the "
@@ -199,13 +204,16 @@ def _cmd_mitigate(args) -> int:
     if args.faults:
         fault_plan = FaultPlan.load(args.faults)
         injector = FaultInjector(fault_plan)
+    strategy = "full" if args.no_delta else "delta"
     with trace.span("magus.build_area", area_type=args.area_type):
-        area = build_area(AreaType(args.area_type), seed=args.seed)
+        area = build_area(AreaType(args.area_type), seed=args.seed,
+                          evaluation_strategy=strategy)
     if injector is not None and fault_plan.pathloss is not None:
         injector.corrupt_pathloss(area.engine.pathloss)
     scenario = UpgradeScenario.from_label(args.scenario)
     targets = select_targets(area, scenario)
-    magus = Magus.from_area(area, utility=args.utility)
+    magus = Magus.from_area(area, utility=args.utility,
+                            evaluation_strategy=strategy)
     status = 0
     try:
         plan = magus.plan_mitigation(targets, tuning=args.tuning)
@@ -257,6 +265,7 @@ def _cmd_mitigate(args) -> int:
             tracer=trace,
             meta={"area_type": args.area_type, "seed": args.seed,
                   "scenario": args.scenario, "tuning": args.tuning,
+                  "evaluation_strategy": strategy,
                   "fault_plan": args.faults})
         _emit_report(report, args)
     return status

@@ -14,6 +14,8 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from ..model.network import CellularNetwork, Configuration
 from .evaluation import Evaluator
 from .plan import TuningResult
@@ -59,14 +61,26 @@ def tune_brute_force(evaluator: Evaluator, network: CellularNetwork,
     f_initial = evaluator.utility_of(start_config)
     best_config = start_config
     best_utility = f_initial
-    for combo in itertools.product(*axes):
-        config = start_config
-        for sector_id, power in zip(tunable_sectors, combo):
-            config = config.with_power(sector_id, power)
-        f = evaluator.utility_of(config)
+    # Enumerate by the innermost axis: all configurations sharing a
+    # prefix differ from the group's base in the last sector's power
+    # only, so each group is one batched scoring pass.  Group winners
+    # are confirmed canonically, keeping the reported optimum exact.
+    last_sector = tunable_sectors[-1]
+    last_axis = axes[-1]
+    for prefix in itertools.product(*axes[:-1]):
+        base = start_config
+        for sector_id, power in zip(tunable_sectors[:-1], prefix):
+            base = base.with_power(sector_id, power)
+        base = base.with_power(last_sector, last_axis[0])
+        group = [base] + [base.with_power(last_sector, p)
+                          for p in last_axis[1:]]
+        scores = [evaluator.utility_of(group[0])]
+        scores.extend(evaluator.score_candidates(group[1:]))
+        winner = int(np.argmax(scores))
+        f = evaluator.utility_of(group[winner])
         if f > best_utility:
             best_utility = f
-            best_config = config
+            best_config = group[winner]
 
     return TuningResult(initial_config=start_config, final_config=best_config,
                         initial_utility=f_initial, final_utility=best_utility,

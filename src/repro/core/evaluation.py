@@ -10,22 +10,46 @@ search algorithms freely re-ask about configurations they have seen
 (e.g. the incumbent at every iteration) without re-running the model.
 The evaluator also counts *distinct* model evaluations, which is the
 cost metric of the search-heuristic ablation.
+
+Two evaluation strategies are supported (``strategy=`` knob):
+
+``"delta"`` (default)
+    Cache-missing configurations are answered incrementally when they
+    differ from a recently evaluated incumbent in a single sector
+    (:meth:`AnalysisEngine.evaluate_delta` — bitwise identical to the
+    full pass), falling back to a full evaluation otherwise
+    (``magus.engine.delta_fallbacks`` counts the misses).
+
+``"full"``
+    Every cache miss runs the complete Formula 1-4 pass — the ablation
+    baseline, also reachable via the CLI's ``--no-delta``.
+
+:meth:`score_candidates` additionally batches K single-sector
+candidates into one vectorized engine pass; batch scores are never
+cached, so accepted candidates are always confirmed canonically.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..model.engine import AnalysisEngine
+from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration
 from ..model.snapshot import NetworkState
 from ..obs import Counter, CostMeter, get_registry
 from .utility import UtilityFunction, get_utility
 
-__all__ = ["Evaluator"]
+__all__ = ["Evaluator", "EVALUATION_STRATEGIES"]
+
+EVALUATION_STRATEGIES = ("full", "delta")
+
+#: Largest number of candidates scored in one vectorized engine pass;
+#: bigger requests are chunked to bound peak memory (K * raster each
+#: for half a dozen intermediates).
+_BATCH_CHUNK = 64
 
 
 class Evaluator:
@@ -33,16 +57,28 @@ class Evaluator:
 
     def __init__(self, engine: AnalysisEngine, ue_density: np.ndarray,
                  utility: UtilityFunction | str = "performance",
-                 cache_size: int = 512) -> None:
+                 cache_size: int = 512,
+                 strategy: str = "delta") -> None:
         if ue_density.shape != engine.grid.shape:
             raise ValueError("UE raster does not match engine grid")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if strategy not in EVALUATION_STRATEGIES:
+            raise ValueError(
+                f"unknown evaluation strategy {strategy!r}; "
+                f"expected one of {EVALUATION_STRATEGIES}")
         self.engine = engine
         self.ue_density = np.asarray(ue_density, dtype=float)
         self.utility = (get_utility(utility)
                         if isinstance(utility, str) else utility)
+        self.strategy = strategy
         self._cache: "OrderedDict[Configuration, Tuple[NetworkState, float]]" = \
             OrderedDict()
         self._cache_size = cache_size
+        # Most-recent delta anchors, parent-first: enough to cover the
+        # search pattern of one incumbent probed by many one-sector
+        # trials, and chains of one-sector moves (gradual compensation).
+        self._incumbents: List[DeltaIncumbent] = []
         # Always-on distinct-evaluation counter; searches meter their
         # spent cost against it via :meth:`cost_meter`.
         self._eval_counter = Counter("evaluator.model_evaluations")
@@ -88,7 +124,73 @@ class Evaluator:
     def with_utility(self, utility: UtilityFunction | str) -> "Evaluator":
         """A sibling evaluator sharing the engine and UE raster."""
         return Evaluator(self.engine, self.ue_density, utility,
-                         cache_size=self._cache_size)
+                         cache_size=self._cache_size,
+                         strategy=self.strategy)
+
+    # ------------------------------------------------------------------
+    def score_candidates(self,
+                         configs: Sequence[Configuration]) -> List[float]:
+        """``f(C)`` for each candidate, batched where possible.
+
+        Candidates that differ from a recent incumbent in exactly one
+        sector are stacked and scored in one vectorized engine pass;
+        the rest (and everything under ``strategy="full"`` or a custom
+        ``UtilityFunction.evaluate`` override) go through the canonical
+        memoized path.  Batch scores are ranking-grade — bitwise equal
+        to the canonical value except when an SINR lands exactly on a
+        CQI threshold — and are **not** cached, so callers must confirm
+        the winning candidate via :meth:`utility_of` before accepting.
+        """
+        configs = list(configs)
+        scores: List[Optional[float]] = [None] * len(configs)
+        registry = get_registry()
+        remaining: List[int] = []
+        for i, config in enumerate(configs):
+            hit = self._cache.get(config)
+            if hit is not None:
+                self._cache.move_to_end(config)
+                registry.counter("magus.evaluator.cache_hits").inc()
+                scores[i] = hit[1]
+            else:
+                remaining.append(i)
+        if remaining and self._batchable():
+            for incumbent in list(self._incumbents):
+                group = [i for i in remaining
+                         if self.engine.single_sector_change(
+                             incumbent, configs[i]) is not None]
+                if not group:
+                    continue
+                for start in range(0, len(group), _BATCH_CHUNK):
+                    chunk = group[start:start + _BATCH_CHUNK]
+                    batch = self.engine.evaluate_batch(
+                        incumbent, [configs[i] for i in chunk],
+                        self.ue_density)
+                    if batch is None:      # defensive; eligibility checked
+                        break
+                    for i, value in zip(chunk,
+                                        self._batch_utilities(batch)):
+                        scores[i] = value
+                scored = [i for i in group if scores[i] is not None]
+                self._eval_counter.inc(len(scored))
+                registry.counter(
+                    "magus.evaluator.model_evaluations").inc(len(scored))
+                remaining = [i for i in remaining if scores[i] is None]
+                if not remaining:
+                    break
+        for i in remaining:
+            scores[i] = self.utility_of(configs[i])
+        return [float(s) for s in scores]
+
+    def _batchable(self) -> bool:
+        # A custom ``evaluate`` override may inspect the whole state;
+        # the batch path only materializes stacked rate rasters.
+        return (self.strategy == "delta"
+                and type(self.utility).evaluate is UtilityFunction.evaluate)
+
+    def _batch_utilities(self, batch) -> np.ndarray:
+        values = self.utility.per_ue(batch.rate_bps)      # (K, H, W)
+        weighted = values * self.ue_density
+        return weighted.reshape(weighted.shape[0], -1).sum(axis=1)
 
     # ------------------------------------------------------------------
     def _lookup(self, config: Configuration) -> Tuple[NetworkState, float]:
@@ -97,14 +199,53 @@ class Evaluator:
             self._cache.move_to_end(config)
             get_registry().counter("magus.evaluator.cache_hits").inc()
             return hit
-        state = self.engine.evaluate(config, self.ue_density)
+        if self.strategy == "delta":
+            state = self._evaluate_delta(config)
+        else:
+            state = self.engine.evaluate(config, self.ue_density)
         value = self.utility.evaluate(state)
         self._eval_counter.inc()
         get_registry().counter("magus.evaluator.model_evaluations").inc()
-        self._cache[config] = (state, value)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-        return self._cache[config]
+        entry = (state, value)
+        if self._cache_size > 0:
+            self._cache[config] = entry
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return entry
+
+    def _evaluate_delta(self, config: Configuration) -> NetworkState:
+        """Incremental evaluation against a recent incumbent.
+
+        Falls back to (and re-anchors on) a full evaluation when no
+        incumbent is a single-sector parent of ``config``.
+        """
+        for incumbent in list(self._incumbents):
+            result = self.engine.evaluate_delta(incumbent, config,
+                                                self.ue_density)
+            if result is not None:
+                state, child = result
+                self._remember(incumbent, child)
+                return state
+        get_registry().counter("magus.engine.delta_fallbacks").inc()
+        state, incumbent = self.engine.evaluate_with_incumbent(
+            config, self.ue_density)
+        self._remember(None, incumbent)
+        return state
+
+    def _remember(self, parent: Optional[DeltaIncumbent],
+                  child: DeltaIncumbent) -> None:
+        """Keep (parent, child) as the delta anchors, parent first.
+
+        Parent-first matters: a search probes one incumbent with many
+        one-sector trials, so the shared parent must survive each
+        trial's arrival; keeping the child too makes one-sector *chains*
+        (tilt ladders, gradual compensation runs) incremental as well.
+        """
+        ring = [child] if parent is None else [parent, child]
+        configs = {inc.config for inc in ring}
+        ring.extend(inc for inc in self._incumbents
+                    if inc.config not in configs)
+        self._incumbents = ring[:2]
 
     # ------------------------------------------------------------------
     def received_power_tensor(self, config: Configuration) -> np.ndarray:

@@ -117,7 +117,8 @@ def gradual_migration(evaluator: Evaluator, network: CellularNetwork,
             compensated = False
             meter = evaluator.cost_meter()
             while evaluator.utility_of(trial) < floor - _EPS and pending:
-                trial = _apply_change(trial, pending.pop(0), network)
+                trial = _compensate(evaluator, network, trial, pending,
+                                    floor)
                 compensated = True
             if evaluator.utility_of(trial) < floor - _EPS:
                 jumped = True   # cannot hold the floor: jump to C_after
@@ -249,6 +250,36 @@ def _step_down_targets(network: CellularNetwork, config: Configuration,
         new_power = max(out.power_dbm(t) - step_db, floor_power)
         out = out.with_power(t, new_power)
     return out
+
+
+def _compensate(evaluator: Evaluator, network: CellularNetwork,
+                trial: Configuration, pending: List[ConfigChange],
+                floor: float) -> Configuration:
+    """Apply the shortest floor-restoring prefix of the next move run.
+
+    Compensation moves arrive in same-sector runs (unit power steps,
+    then tilt steps, per neighbor), so every cumulative prefix of a run
+    differs from ``trial`` in one sector — one batched scoring pass
+    finds how deep into the run the utility floor is restored, instead
+    of one canonical evaluation per move.  The caller's loop re-checks
+    the chosen configuration canonically, so a (theoretical) batch
+    misjudgment only costs another iteration, never a floor violation.
+    """
+    run_sector = pending[0].sector_id
+    run_len = 1
+    while (run_len < len(pending)
+           and pending[run_len].sector_id == run_sector):
+        run_len += 1
+    prefixes: List[Configuration] = []
+    config = trial
+    for change in pending[:run_len]:
+        config = _apply_change(config, change, network)
+        prefixes.append(config)
+    scores = evaluator.score_candidates(prefixes)
+    chosen = next((j for j, s in enumerate(scores)
+                   if s >= floor - _EPS), run_len - 1)
+    del pending[:chosen + 1]
+    return prefixes[chosen]
 
 
 def _apply_change(config: Configuration, change: ConfigChange,

@@ -44,8 +44,13 @@ def tune_joint(evaluator: Evaluator, network: CellularNetwork,
     approach, the joint pass also evaluates the pure power plan and
     returns whichever scores higher.  This makes "joint >= each knob
     alone" structural rather than empirical.
+
+    Both inner passes score their candidate sets through the
+    evaluator's batched delta path (see ``Evaluator.score_candidates``),
+    so the joint pass inherits the incremental-evaluation speedup; the
+    span tags record which strategy served the run.
     """
-    with trace.span("magus.joint_pass"):
+    with trace.span("magus.joint_pass", strategy=evaluator.strategy):
         tilt_result = tune_tilt(evaluator, network, start_config,
                                 target_sectors, settings=tilt_settings)
         power_result = tune_power(evaluator, network,

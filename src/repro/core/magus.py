@@ -55,9 +55,11 @@ class Magus:
                  utility: UtilityFunction | str = "performance",
                  power_settings: Optional[PowerSearchSettings] = None,
                  tilt_settings: Optional[TiltSearchSettings] = None,
-                 default_config: Optional[Configuration] = None) -> None:
+                 default_config: Optional[Configuration] = None,
+                 evaluation_strategy: str = "delta") -> None:
         self.network = network
-        self.evaluator = Evaluator(engine, ue_density, utility)
+        self.evaluator = Evaluator(engine, ue_density, utility,
+                                   strategy=evaluation_strategy)
         self.power_settings = power_settings or PowerSearchSettings()
         self.tilt_settings = tilt_settings or TiltSearchSettings()
         self.default_config = (default_config

@@ -168,22 +168,40 @@ def _best_candidate(evaluator: Evaluator, network: CellularNetwork,
         rp = evaluator.received_power_tensor(config)
         candidates = [b for b in candidates
                       if _can_help(rp, state, affected, b, unit)]
-    best: Optional[Tuple[int, float, Configuration]] = None
-    for b in candidates:
-        trial = config.with_power_delta(
-            b, unit, max_power_dbm=network.sector(b).max_power_dbm)
-        if trial is config or trial == config:
-            continue
-        if prefilter == "rate":
+    if prefilter == "rate":
+        # The paper-literal filter needs each candidate's full state
+        # anyway, so score through the memoized canonical path.
+        best: Optional[Tuple[int, float, Configuration]] = None
+        for b in candidates:
+            trial = config.with_power_delta(
+                b, unit, max_power_dbm=network.sector(b).max_power_dbm)
+            if trial is config or trial == config:
+                continue
             trial_state = evaluator.state_of(trial)
             improves = np.any(trial_state.rate_bps[affected]
                               > state.rate_bps[affected] + _EPS)
             if not improves:
                 continue
-        f_trial = evaluator.utility_of(trial)
-        if best is None or f_trial > best[1]:
-            best = (b, f_trial, trial)
-    return best
+            f_trial = evaluator.utility_of(trial)
+            if best is None or f_trial > best[1]:
+                best = (b, f_trial, trial)
+        return best
+
+    trials: List[Tuple[int, Configuration]] = []
+    for b in candidates:
+        trial = config.with_power_delta(
+            b, unit, max_power_dbm=network.sector(b).max_power_dbm)
+        if trial is config or trial == config:
+            continue
+        trials.append((b, trial))
+    if not trials:
+        return None
+    # One vectorized pass over all neighbors; the winner is confirmed
+    # through the canonical path (batch scores are never cached).
+    scores = evaluator.score_candidates([t for _, t in trials])
+    winner = int(np.argmax(scores))
+    b, trial = trials[winner]
+    return b, evaluator.utility_of(trial), trial
 
 
 def _can_help(rp_tensor: np.ndarray, state: NetworkState,

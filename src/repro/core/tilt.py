@@ -83,25 +83,39 @@ def _sweep_sector(evaluator: Evaluator, network: CellularNetwork,
                   config: Configuration, f_current: float, sector_id: int,
                   steps: List[SearchStep], direction: str,
                   settings: TiltSearchSettings):
-    """Tilt ``sector_id`` step by step while utility improves."""
+    """Tilt ``sector_id`` step by step while utility improves.
+
+    The whole catalogue ladder is scored in one batched pass (every
+    rung differs from the sweep's starting configuration in this one
+    sector only), then walked greedily; each accepted rung is confirmed
+    through the canonical memoized path before it is committed, so the
+    recorded utilities are exact.
+    """
     registry = get_registry()
     tilt_range = network.sector(sector_id).tilt_range
+    ladder = []
+    tilt = config.tilt_deg(sector_id)
     for _ in range(settings.max_steps_per_sector):
-        current_tilt = config.tilt_deg(sector_id)
-        if direction == "up":
-            new_tilt = tilt_range.uptilted(current_tilt)
-        else:
-            new_tilt = tilt_range.downtilted(current_tilt)
-        if new_tilt == current_tilt:       # catalogue edge reached
+        new_tilt = (tilt_range.uptilted(tilt) if direction == "up"
+                    else tilt_range.downtilted(tilt))
+        if new_tilt == tilt:               # catalogue edge reached
             break
-        trial = config.with_tilt(sector_id, new_tilt)
+        ladder.append(new_tilt)
+        tilt = new_tilt
+    if not ladder:
+        return config, f_current
+    trials = [config.with_tilt(sector_id, t) for t in ladder]
+    scores = evaluator.score_candidates(trials)
+    for new_tilt, trial, score in zip(ladder, trials, scores):
+        if score <= f_current + _EPS:      # worse (or flat): revert, stop
+            break
         f_trial = evaluator.utility_of(trial)
-        if f_trial <= f_current + _EPS:    # worse (or flat): revert, stop
+        if f_trial <= f_current + _EPS:    # batch screen disagreed: stop
             break
         steps.append(SearchStep(
             change=ConfigChange(sector_id=sector_id,
                                 parameter=Parameter.TILT,
-                                old_value=current_tilt,
+                                old_value=config.tilt_deg(sector_id),
                                 new_value=new_tilt),
             utility=f_trial, candidates_evaluated=1))
         registry.counter("magus.search.tilt.accepted_steps").inc()

@@ -4,13 +4,32 @@ Given the path-loss database, a configuration and a UE population, the
 engine computes received power, serving assignment, SINR, single-user
 rate and load-shared actual rate for every grid — the "Analysis Model"
 box of the paper's Figure 6.  This is the inner loop of every search
-algorithm, so everything is NumPy-tensorized: one evaluation of a
-60-sector, 120x120-grid scenario is a handful of array ops.
+algorithm, so everything is NumPy-tensorized, and three layers of
+incremental evaluation sit on top of the canonical pass:
+
+* **mW-domain plane caching** — the canonical pass works on cached
+  linear-domain gain planes ``10^(L/10)`` (see
+  :meth:`PathLossDatabase.gain_tensor_mw`), so a power-only candidate
+  scales one plane by the scalar ``10^(P/10)`` instead of
+  re-exponentiating the whole ``(n_sectors, rows, cols)`` tensor.
+* **single-sector delta evaluation** — :meth:`evaluate_delta` reuses a
+  :class:`DeltaIncumbent` (the incumbent's per-sector mW planes plus
+  derived serving/best arrays) and recomputes the serving assignment
+  only where the one changed sector can flip the winner.  The result is
+  *bitwise identical* to :meth:`evaluate` (see DESIGN.md, "Evaluation
+  strategies", for the invariants).
+* **batched candidate scoring** — :meth:`evaluate_batch` stacks K
+  single-sector neighbors along a batch axis and scores them in one
+  vectorized pass against the incumbent.
+
+The searches reach these through :class:`~repro.core.evaluation.Evaluator`,
+which owns strategy selection and fallback accounting.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,11 +39,78 @@ from .network import Configuration
 from .pathloss import PathLossDatabase
 from .snapshot import NO_SERVICE, NetworkState
 
-__all__ = ["AnalysisEngine", "DEFAULT_NOISE_DBM"]
+__all__ = ["AnalysisEngine", "BatchResult", "DeltaIncumbent",
+           "DEFAULT_NOISE_DBM"]
 
 #: Thermal noise over 10 MHz (-174 dBm/Hz + 70 dB) plus a 7 dB UE noise
 #: figure: the paper's "Noise" term in Formula 2.
 DEFAULT_NOISE_DBM = -97.0
+
+
+class DeltaIncumbent:
+    """The linear-domain state of one evaluated configuration.
+
+    Everything a single-sector re-evaluation needs: the per-sector mW
+    planes, the total-power plane, and the (pre-mask) serving argmax
+    with its winning values.  ``planes`` is owned by this object and
+    mutated never — delta evaluations copy it.
+    """
+
+    __slots__ = ("config", "planes", "total_mw", "raw_serving",
+                 "best_mw", "epoch", "_runner")
+
+    def __init__(self, config: Configuration, planes: np.ndarray,
+                 total_mw: np.ndarray, raw_serving: np.ndarray,
+                 best_mw: np.ndarray, epoch: int) -> None:
+        self.config = config
+        self.planes = planes
+        self.total_mw = total_mw
+        self.raw_serving = raw_serving
+        self.best_mw = best_mw
+        self.epoch = epoch
+        self._runner: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def runner_up(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Second-best plane value and its (first-index) sector per grid.
+
+        The batch scorer's comparator for grids currently served by the
+        changed sector.  With a single sector there is no competitor:
+        the value is ``-inf`` so the changed sector always wins.
+        """
+        if self._runner is None:
+            n_sectors = self.planes.shape[0]
+            if n_sectors == 1:
+                runner_val = np.full(self.raw_serving.shape, -np.inf)
+                runner_idx = self.raw_serving.copy()
+            else:
+                masked = self.planes.copy()
+                # Planes are >= 0 mW, so -1 can never be the argmax.
+                np.put_along_axis(masked, self.raw_serving[None], -1.0,
+                                  axis=0)
+                runner_idx = masked.argmax(axis=0).astype(np.int32)
+                runner_val = np.take_along_axis(
+                    self.planes, runner_idx[None], axis=0)[0]
+            self._runner = (runner_val, runner_idx)
+        return self._runner
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Vectorized scores of K single-sector candidates.
+
+    All arrays carry a leading batch axis of length K.  ``serving``,
+    ``max_rate_bps``, ``n_ue`` and ``rate_bps`` are exact (identical to
+    the canonical pass); ``sinr_db`` uses an incrementally updated
+    total-power plane and may differ from the canonical value by
+    ~1e-15 relative — which is why batch results are never cached and
+    accepted candidates are always re-evaluated canonically.
+    """
+
+    serving: np.ndarray       # (K, H, W) int, NO_SERVICE where unservable
+    sinr_db: np.ndarray       # (K, H, W)
+    max_rate_bps: np.ndarray  # (K, H, W)
+    n_ue: np.ndarray          # (K, H, W)
+    rate_bps: np.ndarray      # (K, H, W)
 
 
 class AnalysisEngine:
@@ -61,13 +147,15 @@ class AnalysisEngine:
 
     @property
     def evaluations(self) -> int:
-        """Total full-model evaluations this engine has performed."""
+        """Total model evaluations (full, delta or batched candidates)."""
         return self._eval_counter.value
 
     @evaluations.setter
     def evaluations(self, value: int) -> None:
         self._eval_counter.reset(value)
 
+    # ------------------------------------------------------------------
+    # canonical (full) evaluation
     # ------------------------------------------------------------------
     def evaluate(self, config: Configuration,
                  ue_density: np.ndarray) -> NetworkState:
@@ -81,6 +169,163 @@ class AnalysisEngine:
     def _evaluate(self, config: Configuration,
                   ue_density: np.ndarray) -> NetworkState:
         """The uninstrumented evaluation body (overhead baseline)."""
+        self._validate(config, ue_density)
+        return self._finish(self._prepare(config), ue_density)
+
+    def evaluate_with_incumbent(
+            self, config: Configuration, ue_density: np.ndarray
+            ) -> Tuple[NetworkState, DeltaIncumbent]:
+        """Canonical evaluation that also returns the delta anchor.
+
+        The :class:`DeltaIncumbent` captures the linear-domain planes
+        this evaluation was computed from, so subsequent single-sector
+        candidates can be answered by :meth:`evaluate_delta`.
+        """
+        self._eval_counter.inc()
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc()
+        with registry.timer("magus.engine.evaluate").time():
+            self._validate(config, ue_density)
+            incumbent = self._prepare(config)
+            return self._finish(incumbent, ue_density), incumbent
+
+    # ------------------------------------------------------------------
+    # single-sector delta evaluation
+    # ------------------------------------------------------------------
+    def single_sector_change(self, incumbent: DeltaIncumbent,
+                             config: Configuration) -> Optional[int]:
+        """The one sector ``config`` changes vs. the incumbent, if any.
+
+        ``None`` when the configurations are identical, differ in more
+        than one sector, or the path-loss caches were invalidated since
+        the incumbent was captured (its planes may be stale).
+        """
+        if incumbent.epoch != self.pathloss.cache_epoch:
+            return None
+        if config.n_sectors != incumbent.config.n_sectors:
+            return None
+        diff = incumbent.config.diff(config)
+        if len(diff) != 1:
+            return None
+        return next(iter(diff))
+
+    def evaluate_delta(self, incumbent: DeltaIncumbent,
+                       config: Configuration, ue_density: np.ndarray
+                       ) -> Optional[Tuple[NetworkState, DeltaIncumbent]]:
+        """Re-evaluate ``config`` incrementally from ``incumbent``.
+
+        Only the changed sector's mW plane is rebuilt; the serving
+        argmax is repaired locally (a changed plane can only capture
+        grids from the old winner or release the grids it served).  The
+        total-power plane is re-summed over the swapped plane stack —
+        *not* updated incrementally — so every derived raster is
+        bitwise identical to :meth:`evaluate`.  Returns ``None`` when
+        the change is not a single-sector one (caller falls back).
+        """
+        changed = self.single_sector_change(incumbent, config)
+        if changed is None:
+            return None
+        self._eval_counter.inc()
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc()
+        registry.counter("magus.engine.delta_evaluations").inc()
+        with registry.timer("magus.engine.evaluate").time():
+            self._validate(config, ue_density)
+            new_row = self._sector_plane_mw(config, changed)
+            planes = incumbent.planes.copy()
+            planes[changed] = new_row
+            total_mw = planes.sum(axis=0)
+
+            serving0 = incumbent.raw_serving
+            best0 = incumbent.best_mw
+            # Grids served by someone else: the changed sector wins iff
+            # it now beats the old best (first-index tie-break).
+            wins = (new_row > best0) | ((new_row == best0)
+                                        & (changed < serving0))
+            raw_serving = np.where(wins, np.int32(changed), serving0)
+            best_mw = np.where(wins, new_row, best0)
+            # Grids the changed sector was serving: full (restricted)
+            # argmax — its plane may have dropped below any competitor.
+            mask = serving0 == changed
+            if mask.any():
+                sub = planes[:, mask]
+                sub_arg = sub.argmax(axis=0)
+                raw_serving[mask] = sub_arg.astype(np.int32)
+                best_mw[mask] = sub[sub_arg, np.arange(sub.shape[1])]
+
+            new_incumbent = DeltaIncumbent(
+                config, planes, total_mw, raw_serving, best_mw,
+                self.pathloss.cache_epoch)
+            return self._finish(new_incumbent, ue_density), new_incumbent
+
+    # ------------------------------------------------------------------
+    # batched candidate scoring
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, incumbent: DeltaIncumbent,
+                       configs: Sequence[Configuration],
+                       ue_density: np.ndarray) -> Optional[BatchResult]:
+        """Score K single-sector candidates in one vectorized pass.
+
+        Every candidate must differ from the incumbent in exactly one
+        sector (any knob: power, tilt, azimuth or on/off state);
+        returns ``None`` otherwise.  Serving, rmax, loads and rates are
+        exact; only SINR carries the incremental total-power update
+        (see :class:`BatchResult`).
+        """
+        changed: List[int] = []
+        for config in configs:
+            sector = self.single_sector_change(incumbent, config)
+            if sector is None:
+                return None
+            changed.append(sector)
+        if not changed:
+            return None
+        self._validate(configs[0], ue_density)
+        k = len(configs)
+        self._eval_counter.inc(k)
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc(k)
+        registry.counter("magus.engine.batched_candidates").inc(k)
+        with registry.timer("magus.engine.evaluate_batch").time():
+            b_idx = np.asarray(changed, dtype=np.int32)
+            new_rows = np.stack([self._sector_plane_mw(c, b)
+                                 for c, b in zip(configs, changed)])
+            old_rows = incumbent.planes[b_idx]
+            total_mw = incumbent.total_mw[None] + (new_rows - old_rows)
+
+            serving0 = incumbent.raw_serving
+            runner_val, runner_idx = incumbent.runner_up()
+            # Comparator per grid: for grids the changed sector already
+            # serves, the runner-up; for the rest, the incumbent best.
+            mask = serving0[None] == b_idx[:, None, None]
+            comp_val = np.where(mask, runner_val[None],
+                                incumbent.best_mw[None])
+            comp_idx = np.where(mask, runner_idx[None], serving0[None])
+            bb = b_idx[:, None, None]
+            wins = (new_rows > comp_val) | ((new_rows == comp_val)
+                                            & (bb < comp_idx))
+            best_mw = np.where(wins, new_rows, comp_val)
+            raw_serving = np.where(wins, bb, comp_idx).astype(np.int32)
+
+            sinr_db, rp_best_dbm, interference_dbm = self._radio_rasters(
+                total_mw, best_mw)
+            rmax = self.link.max_rate_bps(sinr_db)
+            rmax = np.where(best_mw >= _dbm_to_mw_scalar(self.min_rp_dbm),
+                            rmax, 0.0)
+            serving = np.where(rmax > 0.0, raw_serving, NO_SERVICE)
+            n_ue = self._shared_load_batch(serving, ue_density)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rate = np.where(n_ue > 0, rmax / np.maximum(n_ue, 1e-12),
+                                rmax)
+            return BatchResult(serving=serving, sinr_db=sinr_db,
+                               max_rate_bps=rmax, n_ue=n_ue,
+                               rate_bps=rate)
+
+    # ------------------------------------------------------------------
+    # shared internals
+    # ------------------------------------------------------------------
+    def _validate(self, config: Configuration,
+                  ue_density: np.ndarray) -> None:
         if config.n_sectors != self.pathloss.network.n_sectors:
             raise ValueError("configuration does not match network")
         if ue_density.shape != self.grid.shape:
@@ -90,25 +335,97 @@ class AnalysisEngine:
         if np.any(ue_density < 0):
             raise ValueError("UE density must be non-negative")
 
-        rp_dbm = self._received_power_dbm(config)          # (S, H, W)
-        serving, rp_best, interference, sinr_db = self._sinr(rp_dbm)
-        rmax = self.link.max_rate_bps(sinr_db)
-        rmax = np.where(rp_best >= self.min_rp_dbm, rmax, 0.0)
-        serving = np.where(rmax > 0.0, serving, NO_SERVICE)
+    def _prepare(self, config: Configuration) -> DeltaIncumbent:
+        """Formulae 1-2 in the linear domain: planes, total, serving."""
+        planes = self._planes_mw(config)
+        total_mw = planes.sum(axis=0)
+        raw_serving = planes.argmax(axis=0).astype(np.int32)
+        best_mw = np.take_along_axis(planes, raw_serving[None], axis=0)[0]
+        return DeltaIncumbent(config, planes, total_mw, raw_serving,
+                              best_mw, self.pathloss.cache_epoch)
 
+    def _finish(self, incumbent: DeltaIncumbent,
+                ue_density: np.ndarray) -> NetworkState:
+        """Formulae 2-4 from the prepared linear-domain arrays."""
+        total_mw = incumbent.total_mw
+        best_mw = incumbent.best_mw
+        raw_serving = incumbent.raw_serving
+        sinr_db, rp_best_dbm, interference_dbm = self._radio_rasters(
+            total_mw, best_mw)
+        rmax = self.link.max_rate_bps(sinr_db)
+        # The RSRP-style floor, compared in the linear domain.
+        rmax = np.where(best_mw >= _dbm_to_mw_scalar(self.min_rp_dbm),
+                        rmax, 0.0)
+        serving = np.where(rmax > 0.0, raw_serving, NO_SERVICE)
         n_ue = self._shared_load(serving, ue_density)
         with np.errstate(divide="ignore", invalid="ignore"):
             rate = np.where(n_ue > 0, rmax / np.maximum(n_ue, 1e-12), rmax)
         return NetworkState(
-            grid=self.grid, config=config, serving=serving,
-            rp_best_dbm=rp_best, interference_dbm=interference,
+            grid=self.grid, config=incumbent.config, serving=serving,
+            rp_best_dbm=rp_best_dbm, interference_dbm=interference_dbm,
             sinr_db=sinr_db, max_rate_bps=rmax, n_ue=n_ue,
-            rate_bps=rate, ue_density=np.asarray(ue_density, dtype=float))
+            rate_bps=rate, ue_density=np.asarray(ue_density, dtype=float),
+            raw_serving=raw_serving)
+
+    def _radio_rasters(self, total_mw: np.ndarray, best_mw: np.ndarray):
+        """Formula 2 rasters (dB domain) from linear power planes."""
+        noise_mw = _dbm_to_mw_scalar(self.noise_dbm)
+        interference_mw = np.maximum(total_mw - best_mw, 0.0)
+        with np.errstate(divide="ignore"):
+            sinr_db = 10.0 * np.log10(
+                np.maximum(best_mw, 1e-300)
+                / (noise_mw + interference_mw))
+            rp_best_dbm = np.where(
+                best_mw > 0.0,
+                10.0 * np.log10(np.maximum(best_mw, 1e-300)),
+                -np.inf)
+            interference_dbm = np.where(
+                interference_mw > 0,
+                10.0 * np.log10(np.maximum(interference_mw, 1e-300)),
+                -np.inf)
+        # Grids where no sector radiates at all (everything off-air).
+        sinr_db = np.where(best_mw > 0.0, sinr_db, -np.inf)
+        return sinr_db, rp_best_dbm, interference_dbm
+
+    def _planes_mw(self, config: Configuration) -> np.ndarray:
+        """Formula 1 per sector, linear domain:
+        ``10^(RP_b(g)/10) = 10^(P_b/10) * 10^(L_b(T_b,g)/10)``.
+
+        Off-air sectors radiate nothing: their factor is exactly 0, so
+        they can neither serve nor interfere.
+        """
+        gains_mw = self.pathloss.gain_tensor_mw(config.tilts(),
+                                                config.azimuth_offsets())
+        return gains_mw * self._power_factors(config)[:, None, None]
+
+    def _sector_plane_mw(self, config: Configuration,
+                         sector_id: int) -> np.ndarray:
+        """One sector's linear received-power plane.
+
+        Bitwise identical to row ``sector_id`` of :meth:`_planes_mw`
+        (same factor, same cached gain row, same multiply).
+        """
+        setting = config.settings[sector_id]
+        if not setting.active:
+            return np.zeros(self.grid.shape)
+        gain_mw = self.pathloss.gain_matrix_mw(
+            sector_id, setting.tilt_deg, setting.azimuth_offset_deg)
+        # Index the vectorized factor computation rather than applying
+        # scalar ``**``: both paths must round identically.
+        return gain_mw * self._power_factors(config)[sector_id]
+
+    @staticmethod
+    def _power_factors(config: Configuration) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            factors = np.power(10.0, config.powers() / 10.0)
+        return np.where(config.active_mask(), factors, 0.0)
 
     # ------------------------------------------------------------------
     def _received_power_dbm(self, config: Configuration) -> np.ndarray:
         """Formula 1 per sector: ``RP_b(g) = P_b + L_b(T_b, g)``.
 
+        The dB-domain tensor, kept for the SINR pre-filter and hand
+        verification; the evaluation paths work in the linear domain.
         Off-air sectors radiate nothing: their plane is set to -inf so
         they can neither serve nor interfere.
         """
@@ -122,28 +439,6 @@ class AnalysisEngine:
             rp[inactive] = -np.inf
         return rp
 
-    def _sinr(self, rp_dbm: np.ndarray):
-        """Formula 2: best sector is signal, the rest is interference."""
-        rp_mw = _dbm_to_mw(rp_dbm)
-        total_mw = rp_mw.sum(axis=0)
-        serving = np.argmax(rp_dbm, axis=0).astype(np.int32)
-        rp_best_dbm = np.take_along_axis(
-            rp_dbm, serving[None, ...], axis=0)[0]
-        best_mw = _dbm_to_mw(rp_best_dbm)
-        noise_mw = _dbm_to_mw(np.asarray(self.noise_dbm))
-        interference_mw = np.maximum(total_mw - best_mw, 0.0)
-        with np.errstate(divide="ignore"):
-            sinr_db = 10.0 * np.log10(
-                np.maximum(best_mw, 1e-300)
-                / (noise_mw + interference_mw))
-            interference_dbm = np.where(
-                interference_mw > 0,
-                10.0 * np.log10(np.maximum(interference_mw, 1e-300)),
-                -np.inf)
-        # Grids where no sector radiates at all (everything off-air).
-        sinr_db = np.where(np.isfinite(rp_best_dbm), sinr_db, -np.inf)
-        return serving, rp_best_dbm, interference_dbm, sinr_db
-
     @staticmethod
     def _shared_load(serving: np.ndarray, ue_density: np.ndarray) -> np.ndarray:
         """Formula 3: ``N(g)`` = UEs attached to grid g's serving sector."""
@@ -156,6 +451,28 @@ class AnalysisEngine:
                             weights=ue_density[served])
         n_ue[served] = loads[flat_serving]
         return n_ue
+
+    def _shared_load_batch(self, serving: np.ndarray,
+                           ue_density: np.ndarray) -> np.ndarray:
+        """Formula 3 across the batch axis via one offset bincount."""
+        k = serving.shape[0]
+        n_sectors = self.pathloss.network.n_sectors
+        n_ue = np.zeros(serving.shape)
+        served = serving >= 0
+        if not served.any():
+            return n_ue
+        offsets = (np.arange(k, dtype=np.int64)
+                   * n_sectors)[:, None, None]
+        flat_ids = (serving + offsets)[served]
+        weights = np.broadcast_to(ue_density, serving.shape)[served]
+        loads = np.bincount(flat_ids, weights=weights,
+                            minlength=k * n_sectors)
+        n_ue[served] = loads[flat_ids]
+        return n_ue
+
+
+def _dbm_to_mw_scalar(dbm: float) -> float:
+    return float(10.0 ** (float(dbm) / 10.0))
 
 
 def _dbm_to_mw(dbm: np.ndarray) -> np.ndarray:

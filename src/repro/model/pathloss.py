@@ -26,8 +26,9 @@ deterministic for a given seed so the whole evaluation is reproducible.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Literal, Optional, Sequence
+from typing import Dict, Hashable, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -36,13 +37,66 @@ from .geometry import GridSpec
 from .network import CellularNetwork, Sector
 from .propagation import Environment, PropagationModel, SPMParameters, Transmitter
 
-__all__ = ["PathLossDatabase", "TiltModelName"]
+__all__ = ["LRUCache", "PathLossDatabase", "TiltModelName"]
 
 TiltModelName = Literal["exact", "shared-delta"]
 
 #: Default shadowing statistics (urban macro, Gudmundson).
 DEFAULT_SHADOWING_SIGMA_DB = 6.0
 DEFAULT_SHADOWING_CORR_M = 150.0
+
+#: Default bound for the gain-tensor / mW-plane caches.  Tilt search
+#: alternates between a handful of assignments (incumbent plus the
+#: tilt ladder of one sector), so a small bound with true LRU eviction
+#: keeps every live assignment resident.
+DEFAULT_TENSOR_CACHE_SIZE = 8
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Shared by the dB gain-tensor cache, the linear (mW) plane cache
+    and the per-sector row cache.  ``get`` refreshes recency; ``put``
+    evicts the single oldest entry once ``maxsize`` is exceeded —
+    *not* the whole cache, which is what made tilt search thrash
+    before (every ninth assignment wiped all eight live ones).
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.maxsize == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
 
 
 @dataclass
@@ -78,8 +132,16 @@ class PathLossDatabase:
         self.network = network
         self.tilt_model: TiltModelName = tilt_model
         self._rasters = list(rasters)
-        self._tensor_cache: Dict[bytes, np.ndarray] = {}
+        self._tensor_cache = LRUCache(DEFAULT_TENSOR_CACHE_SIZE)
+        self._tensor_mw_cache = LRUCache(DEFAULT_TENSOR_CACHE_SIZE)
+        # Per-(sector, tilt, offset) linear-domain rows: lets a
+        # single-sector tilt change rebuild one plane, not the stack.
+        self._row_mw_cache = LRUCache(
+            DEFAULT_TENSOR_CACHE_SIZE * max(network.n_sectors, 1))
         self._shared_profiles: Dict[float, np.ndarray] = {}
+        #: Bumped on every invalidation; delta incumbents built against
+        #: an older epoch are stale and must be re-prepared.
+        self.cache_epoch = 0
         self.validate()
 
     def validate(self) -> None:
@@ -104,7 +166,10 @@ class PathLossDatabase:
     def invalidate_caches(self) -> None:
         """Drop memoized tensors/profiles after in-place raster edits."""
         self._tensor_cache.clear()
+        self._tensor_mw_cache.clear()
+        self._row_mw_cache.clear()
         self._shared_profiles.clear()
+        self.cache_epoch += 1
 
     # ------------------------------------------------------------------
     # construction
@@ -187,15 +252,7 @@ class PathLossDatabase:
         per parameter vector since the search algorithms re-evaluate
         many power-only changes against the same assignment.
         """
-        tilts = np.asarray(tilts, dtype=float)
-        if tilts.shape != (self.network.n_sectors,):
-            raise ValueError("need one tilt per sector")
-        if azimuth_offsets is None:
-            offsets = np.zeros(self.network.n_sectors)
-        else:
-            offsets = np.asarray(azimuth_offsets, dtype=float)
-            if offsets.shape != (self.network.n_sectors,):
-                raise ValueError("need one azimuth offset per sector")
+        tilts, offsets = self._check_assignment(tilts, azimuth_offsets)
         key = tilts.tobytes() + offsets.tobytes()
         cached = self._tensor_cache.get(key)
         if cached is None:
@@ -205,17 +262,81 @@ class PathLossDatabase:
             # One finite pass per cache miss (the search's power-only
             # re-evaluations hit the cache and skip it): data corrupted
             # *after* construction must still never reach SINR.
-            if not np.isfinite(cached).all():
-                offenders = sorted(
-                    set(np.argwhere(~np.isfinite(cached))[:, 0].tolist()))
-                raise ValueError(
-                    f"path-loss gain tensor contains NaN/inf for sectors "
-                    f"{offenders}; the database was corrupted after "
-                    f"construction — rebuild it or run validate()")
-            if len(self._tensor_cache) > 8:
-                self._tensor_cache.clear()
-            self._tensor_cache[key] = cached
+            self._check_finite(cached)
+            self._tensor_cache.put(key, cached)
         return cached
+
+    def gain_tensor_mw(self, tilts: np.ndarray,
+                       azimuth_offsets: Optional[np.ndarray] = None
+                       ) -> np.ndarray:
+        """Linear-domain gain planes ``10^(L/10)``, shape like
+        :meth:`gain_tensor`.
+
+        This is the delta engine's workhorse: a power-only candidate
+        multiplies a cached plane by the scalar ``10^(P/10)`` instead
+        of re-exponentiating the whole ``(n_sectors, rows, cols)``
+        tensor.  Rows are assembled from the per-sector row cache so a
+        single-sector tilt change rebuilds exactly one plane.  The
+        returned array is read-only shared state — callers must not
+        mutate it.
+        """
+        tilts, offsets = self._check_assignment(tilts, azimuth_offsets)
+        key = tilts.tobytes() + offsets.tobytes()
+        cached = self._tensor_mw_cache.get(key)
+        if cached is None:
+            cached = np.stack([self.gain_matrix_mw(i, t, o)
+                               for i, (t, o)
+                               in enumerate(zip(tilts, offsets))])
+            cached.setflags(write=False)
+            self._tensor_mw_cache.put(key, cached)
+        return cached
+
+    def gain_matrix_mw(self, sector_id: int, tilt_deg: float,
+                       azimuth_offset_deg: float = 0.0) -> np.ndarray:
+        """One sector's linear-domain gain plane ``10^(L/10)``.
+
+        Cached per ``(sector, tilt, offset)`` triple — bitwise
+        identical to the matching row of :meth:`gain_tensor_mw`
+        because both exponentiate the same :meth:`gain_matrix` output.
+        Read-only for the same sharing reason as the tensor.
+        """
+        key = (sector_id, float(tilt_deg), float(azimuth_offset_deg))
+        cached = self._row_mw_cache.get(key)
+        if cached is None:
+            gain_db = self.gain_matrix(sector_id, tilt_deg,
+                                       azimuth_offset_deg)
+            if not np.isfinite(gain_db).all():
+                raise ValueError(
+                    f"path-loss gain matrix contains NaN/inf for sector "
+                    f"{sector_id}; the database was corrupted after "
+                    f"construction — rebuild it or run validate()")
+            cached = np.power(10.0, gain_db / 10.0)
+            cached.setflags(write=False)
+            self._row_mw_cache.put(key, cached)
+        return cached
+
+    def _check_assignment(self, tilts: np.ndarray,
+                          azimuth_offsets: Optional[np.ndarray]):
+        tilts = np.asarray(tilts, dtype=float)
+        if tilts.shape != (self.network.n_sectors,):
+            raise ValueError("need one tilt per sector")
+        if azimuth_offsets is None:
+            offsets = np.zeros(self.network.n_sectors)
+        else:
+            offsets = np.asarray(azimuth_offsets, dtype=float)
+            if offsets.shape != (self.network.n_sectors,):
+                raise ValueError("need one azimuth offset per sector")
+        return tilts, offsets
+
+    @staticmethod
+    def _check_finite(tensor: np.ndarray) -> None:
+        if not np.isfinite(tensor).all():
+            offenders = sorted(
+                set(np.argwhere(~np.isfinite(tensor))[:, 0].tolist()))
+            raise ValueError(
+                f"path-loss gain tensor contains NaN/inf for sectors "
+                f"{offenders}; the database was corrupted after "
+                f"construction — rebuild it or run validate()")
 
     def distance_matrix(self, sector_id: int) -> np.ndarray:
         """Distance (m) from the sector to each grid center."""

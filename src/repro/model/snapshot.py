@@ -11,7 +11,7 @@ analysis engine for one :class:`~repro.model.network.Configuration`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -45,6 +45,11 @@ class NetworkState:
     n_ue: np.ndarray             # N(g): UEs sharing the serving sector
     rate_bps: np.ndarray         # r(g) = rmax(g) / N(g) (Formula 4)
     ue_density: np.ndarray       # UE(g): population per grid
+    #: Pre-mask argmax serving (no NO_SERVICE sentinel applied) — the
+    #: delta engine's anchor for incremental serving updates.  Optional
+    #: so externally constructed states stay valid; equality of public
+    #: fields is unaffected.
+    raw_serving: Optional[np.ndarray] = None
 
     # -- coverage -------------------------------------------------------
     def covered_mask(self) -> np.ndarray:

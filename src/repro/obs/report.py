@@ -188,7 +188,30 @@ class RunReport:
             width = max(len(name) for name in resilience)
             for name, value in resilience.items():
                 lines.append(f"  {name:<{width}}  {value}")
+        delta = self.delta_metrics()
+        if delta:
+            lines.append("delta engine:")
+            width = max(len(name) for name in delta)
+            for name, value in delta.items():
+                lines.append(f"  {name:<{width}}  {value}")
         return "\n".join(lines)
+
+    def delta_metrics(self) -> Dict[str, object]:
+        """Incremental-evaluation counters, if the delta engine ran.
+
+        ``magus.engine.delta_evaluations`` / ``delta_fallbacks`` /
+        ``batched_candidates`` expose the hit rate of the incremental
+        path; empty under ``--no-delta`` (or when nothing was
+        evaluated), keeping full-strategy reports unchanged.
+        """
+        out: Dict[str, object] = {}
+        for name in ("magus.engine.delta_evaluations",
+                     "magus.engine.delta_fallbacks",
+                     "magus.engine.batched_candidates"):
+            stats = self.metrics.get(name)
+            if stats is not None:
+                out[name] = stats.get("value")
+        return out
 
     def resilience_metrics(self) -> Dict[str, object]:
         """Fault/retry/degradation counters, if any were recorded.

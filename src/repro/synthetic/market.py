@@ -121,7 +121,8 @@ def build_area(area_type: AreaType, seed: int = 0,
                link: Optional[LinkAdaptation] = None,
                tilt_model: TiltModelName = "exact",
                planning: Optional[PlanningSettings] = None,
-               name: Optional[str] = None) -> StudyArea:
+               name: Optional[str] = None,
+               evaluation_strategy: str = "delta") -> StudyArea:
     """Construct a reproducible :class:`StudyArea`.
 
     The pipeline mirrors how the paper's data feeds compose: place
@@ -155,8 +156,9 @@ def build_area(area_type: AreaType, seed: int = 0,
     # Offline planning: reach the planners' single-move local optimum,
     # then re-anchor the density to the planned footprints.
     planned = optimize_planned_configuration(
-        Evaluator(engine, density, "performance"), network, c_default,
-        planning)
+        Evaluator(engine, density, "performance",
+                  strategy=evaluation_strategy),
+        network, c_default, planning)
     if planned != c_default:
         density = uniform_per_sector_density(
             engine.evaluate(planned, density), per_sector)

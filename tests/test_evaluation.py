@@ -75,3 +75,48 @@ class TestValidation:
         rp = toy_evaluator.received_power_tensor(config)
         assert rp.shape == (toy_network.n_sectors,) + \
             toy_evaluator.engine.grid.shape
+
+
+class TestCacheSizing:
+    """Regression: cache_size=0 must disable memoization, not crash."""
+
+    def test_zero_cache_supported(self, toy_engine, toy_network,
+                                  toy_density):
+        ev = Evaluator(toy_engine, toy_density, cache_size=0)
+        config = toy_network.planned_configuration()
+        first = ev.utility_of(config)
+        second = ev.utility_of(config)      # used to KeyError post-evict
+        assert first == second
+        assert ev.model_evaluations == 2    # nothing was memoized
+
+    def test_zero_cache_score_candidates(self, toy_engine, toy_network,
+                                         toy_density):
+        ev = Evaluator(toy_engine, toy_density, cache_size=0)
+        base = toy_network.planned_configuration()
+        ev.utility_of(base)
+        trials = [base.with_power(0, 38.0), base.with_power(2, 33.0)]
+        scores = ev.score_candidates(trials)
+        assert scores == [ev.utility_of(t) for t in trials]
+
+    def test_negative_cache_rejected(self, toy_engine, toy_density):
+        with pytest.raises(ValueError):
+            Evaluator(toy_engine, toy_density, cache_size=-1)
+
+
+class TestStrategyKnob:
+    def test_default_is_delta(self, toy_evaluator):
+        assert toy_evaluator.strategy == "delta"
+
+    def test_full_matches_delta(self, toy_engine, toy_network,
+                                toy_density):
+        full = Evaluator(toy_engine, toy_density, strategy="full")
+        delta = Evaluator(toy_engine, toy_density, strategy="delta")
+        base = toy_network.planned_configuration()
+        for config in (base, base.with_power(1, 38.0),
+                       base.with_offline([0])):
+            assert full.utility_of(config) == delta.utility_of(config)
+
+    def test_with_utility_preserves_strategy(self, toy_engine,
+                                             toy_density):
+        ev = Evaluator(toy_engine, toy_density, strategy="full")
+        assert ev.with_utility("coverage").strategy == "full"

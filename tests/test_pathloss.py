@@ -115,3 +115,85 @@ class TestTiltModels:
         assert d.shape == grid.shape
         row, col = grid.cell_of(-800.0, 0.0)
         assert d[row, col] < 200.0
+
+
+class TestLRUCaches:
+    """Regression: the tensor cache must evict one entry, not wipe."""
+
+    def test_lru_evicts_oldest_only(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        from repro.model.pathloss import DEFAULT_TENSOR_CACHE_SIZE
+        tensors = []
+        for i in range(DEFAULT_TENSOR_CACHE_SIZE + 1):
+            tensors.append(db.gain_tensor(np.asarray([float(i % 8),
+                                                      float(i // 8)])))
+        # Newest entries survive; re-requesting the most recent is a hit.
+        last = db.gain_tensor(np.asarray(
+            [float(DEFAULT_TENSOR_CACHE_SIZE % 8),
+             float(DEFAULT_TENSOR_CACHE_SIZE // 8)]))
+        assert last is tensors[-1]
+        # Second-newest also survived the single eviction (the old bug
+        # cleared the whole cache when it overflowed).
+        second = db.gain_tensor(np.asarray(
+            [float((DEFAULT_TENSOR_CACHE_SIZE - 1) % 8),
+             float((DEFAULT_TENSOR_CACHE_SIZE - 1) // 8)]))
+        assert second is tensors[-2]
+
+    def test_lru_unit(self):
+        from repro.model.pathloss import LRUCache
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refreshes "a"
+        cache.put("c", 3)                   # evicts LRU "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_lru_zero_size_stores_nothing(self):
+        from repro.model.pathloss import LRUCache
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_lru_rejects_negative(self):
+        from repro.model.pathloss import LRUCache
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestMilliwattPlanes:
+    def test_gain_matrix_mw_matches_db(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        mw = db.gain_matrix_mw(0, 4.0)
+        expected = np.power(10.0, db.gain_matrix(0, 4.0) / 10.0)
+        assert np.array_equal(mw, expected)
+        assert not mw.flags.writeable
+
+    def test_gain_tensor_mw_stacks_rows(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        tilts = np.asarray([2.0, 6.0])
+        tensor = db.gain_tensor_mw(tilts)
+        assert tensor.shape == (2,) + grid.shape
+        assert np.array_equal(tensor[0], db.gain_matrix_mw(0, 2.0))
+        assert np.array_equal(tensor[1], db.gain_matrix_mw(1, 6.0))
+
+    def test_invalidate_bumps_epoch_and_clears(self, world):
+        grid, env, net = world
+        db = PathLossDatabase.from_environment(net, env,
+                                               shadowing_sigma_db=0.0)
+        tilts = np.asarray([4.0, 4.0])
+        first = db.gain_tensor_mw(tilts)
+        epoch = db.cache_epoch
+        db.invalidate_caches()
+        assert db.cache_epoch == epoch + 1
+        second = db.gain_tensor_mw(tilts)
+        assert second is not first          # caches were dropped
+        assert np.array_equal(second, first)
