@@ -21,20 +21,12 @@ from __future__ import annotations
 
 import json
 import os
-import statistics
-import time
 from pathlib import Path
 from typing import List
 
-import pytest
-
 from repro.core.evaluation import Evaluator
-from repro.core.search import PowerSearchSettings
-from repro.synthetic.market import AreaDimensions, build_area
-from repro.synthetic.placement import AreaType
-from repro.upgrades.scenario import UpgradeScenario, select_targets
 
-from conftest import report
+from conftest import median_s, neighbor_power_ladder, report
 
 #: Rounds per median; override for quick CI smoke runs.
 _ROUNDS = int(os.environ.get("BENCH_PR4_ROUNDS", "5"))
@@ -42,51 +34,16 @@ _OUT_PATH = Path(os.environ.get(
     "BENCH_PR4_OUT",
     str(Path(__file__).resolve().parents[1] / "BENCH_pr4.json")))
 
-#: The acceptance scenario: the suburban deployment (~60 sectors) on a
-#: 120x120 raster — same 7 km x 7 km analysis region as the default
-#: suburban area, finer cells.
-_BENCH_DIMS = AreaDimensions(tuning_side_m=3_000.0, margin_m=2_000.0,
-                             cell_size_m=7_000.0 / 120.0)
-
 _RESULTS: List[dict] = []
-
-
-@pytest.fixture(scope="module")
-def bench_area():
-    return build_area(AreaType.SUBURBAN, seed=7, dims=_BENCH_DIMS)
-
-
-@pytest.fixture(scope="module")
-def small_bench_area():
-    return build_area(AreaType.SUBURBAN, seed=7, dims=AreaDimensions(
-        tuning_side_m=3_000.0, margin_m=2_000.0, cell_size_m=175.0))
 
 
 def _neighbor_trials(area):
     """The Algorithm-1 candidate set: +1 dB per involved sector."""
-    settings = PowerSearchSettings()
-    targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
-    config = area.c_before.with_offline(targets)
-    neighbors = area.network.neighbors_of(
-        targets, radius_m=settings.neighbor_radius_m,
-        max_neighbors=settings.max_neighbors)
-    trials = []
-    for b in neighbors:
-        trial = config.with_power_delta(
-            b, settings.unit_db,
-            max_power_dbm=area.network.sector(b).max_power_dbm)
-        if trial != config:
-            trials.append(trial)
-    return config, trials
+    return neighbor_power_ladder(area, units=(1.0,))
 
 
 def _median_s(fn, rounds: int = _ROUNDS) -> float:
-    times = []
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return statistics.median(times)
+    return median_s(fn, rounds)
 
 
 def _time_scenario(area, scenario_name: str) -> dict:
@@ -157,9 +114,9 @@ def test_neighbor_scoring_small(small_bench_area):
     assert rows["batched"]["speedup_vs_full"] > 1.0
 
 
-def test_neighbor_scoring_large(bench_area):
+def test_neighbor_scoring_large(bench_area_120):
     """The acceptance scenario: >=3x on the 60-sector 120x120 loop."""
-    rows = _time_scenario(bench_area, "suburban-60s-120x120")
+    rows = _time_scenario(bench_area_120, "suburban-60s-120x120")
     best = max(rows["delta"]["speedup_vs_full"],
                rows["batched"]["speedup_vs_full"])
     assert best >= 3.0, (

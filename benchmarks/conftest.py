@@ -8,26 +8,101 @@ capture layer so the regenerated tables/series show up in
 
 from __future__ import annotations
 
+import statistics
 import sys
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import pytest
 
 from repro.core.magus import Magus
+from repro.core.search import PowerSearchSettings
 from repro.obs import MetricsRegistry, use_registry
-from repro.synthetic.market import MARKET_NAMES, StudyArea, build_area
+from repro.synthetic.market import (AreaDimensions, MARKET_NAMES, StudyArea,
+                                    build_area)
 from repro.synthetic.placement import AreaType
 from repro.upgrades.scenario import UpgradeScenario, select_targets
 
 #: Tunings swept for Table 1 / Figure 13 (naive is the Fig-13 baseline).
 SWEEP_TUNINGS = ("power", "tilt", "joint", "naive")
 
+# -- shared perf scenarios (bench_delta_engine + bench_parallel_engine) --
+#: The acceptance scenario: the suburban deployment (~60 sectors) on a
+#: 120x120 raster — same 7 km x 7 km analysis region as the default
+#: suburban area, finer cells.
+BENCH_DIMS = AreaDimensions(tuning_side_m=3_000.0, margin_m=2_000.0,
+                            cell_size_m=7_000.0 / 120.0)
+
+#: A coarse (40x40) variant for smoke-sized parity checks.
+SMALL_BENCH_DIMS = AreaDimensions(tuning_side_m=3_000.0, margin_m=2_000.0,
+                                  cell_size_m=175.0)
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke-sized perf run: fewer timing rounds, correctness "
+             "assertions (parity, fallback threshold) kept in full")
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return bool(request.config.getoption("--quick"))
+
 
 def report(text: str) -> None:
     """Print straight to the real stdout (pytest capture bypassed)."""
     sys.__stdout__.write(text + "\n")
     sys.__stdout__.flush()
+
+
+def median_s(fn, rounds: int) -> float:
+    """Median wall-clock seconds of ``rounds`` calls to ``fn``."""
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def neighbor_power_ladder(area, units=(1.0,)):
+    """The Algorithm-1 candidate set around one upgrade incumbent.
+
+    Returns ``(config, trials)``: the single-sector-down incumbent and
+    the unique +N dB single-sector trials for every involved neighbor
+    and every step in ``units``.  ``units=(1.0,)`` is the inner loop
+    the delta bench times; the parallel bench widens the ladder so one
+    batch carries enough work to amortize pool dispatch.
+    """
+    settings = PowerSearchSettings()
+    targets = select_targets(area, UpgradeScenario.SINGLE_SECTOR)
+    config = area.c_before.with_offline(targets)
+    neighbors = area.network.neighbors_of(
+        targets, radius_m=settings.neighbor_radius_m,
+        max_neighbors=settings.max_neighbors)
+    trials, seen = [], set()
+    for b in neighbors:
+        for unit in units:
+            trial = config.with_power_delta(
+                b, settings.unit_db * unit,
+                max_power_dbm=area.network.sector(b).max_power_dbm)
+            if trial != config and trial not in seen:
+                seen.add(trial)
+                trials.append(trial)
+    return config, trials
+
+
+@pytest.fixture(scope="session")
+def bench_area_120() -> StudyArea:
+    """The 60-sector 120x120 acceptance area, shared across benches."""
+    return build_area(AreaType.SUBURBAN, seed=7, dims=BENCH_DIMS)
+
+
+@pytest.fixture(scope="session")
+def small_bench_area() -> StudyArea:
+    return build_area(AreaType.SUBURBAN, seed=7, dims=SMALL_BENCH_DIMS)
 
 
 def area_seed(market_index: int, area_type: AreaType) -> int:

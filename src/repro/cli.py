@@ -72,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default="performance")
     mitigate.add_argument("--gradual", action="store_true",
                           help="also compute the gradual migration schedule")
+    mitigate.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="score candidate batches on N worker "
+                               "processes over shared-memory planes "
+                               "(evaluation strategy 'parallel'; "
+                               "default 1 = serial; requires the "
+                               "delta engine)")
     mitigate.add_argument("--no-delta", action="store_true",
                           help="disable the incremental delta-evaluation "
                                "engine and run every candidate through "
@@ -204,8 +210,15 @@ def _cmd_mitigate(args) -> int:
     if args.faults:
         fault_plan = FaultPlan.load(args.faults)
         injector = FaultInjector(fault_plan)
+    if args.no_delta and args.workers > 1:
+        print("--workers requires the delta engine; drop --no-delta",
+              file=sys.stderr)
+        return 2
     strategy = "full" if args.no_delta else "delta"
+    magus_strategy = "parallel" if args.workers > 1 else strategy
     with trace.span("magus.build_area", area_type=args.area_type):
+        # The area's own baseline evaluation is one full pass — no
+        # batches to parallelize — so it always stays serial.
         area = build_area(AreaType(args.area_type), seed=args.seed,
                           evaluation_strategy=strategy)
     if injector is not None and fault_plan.pathloss is not None:
@@ -213,59 +226,67 @@ def _cmd_mitigate(args) -> int:
     scenario = UpgradeScenario.from_label(args.scenario)
     targets = select_targets(area, scenario)
     magus = Magus.from_area(area, utility=args.utility,
-                            evaluation_strategy=strategy)
+                            evaluation_strategy=magus_strategy,
+                            workers=args.workers)
     status = 0
+    # Everything below runs under the close() guarantee: whatever path
+    # exits — including the structured aborts with exit codes 3/4 —
+    # the worker pool is shut down, never orphaned.
     try:
-        plan = magus.plan_mitigation(targets, tuning=args.tuning)
-    except ValueError as exc:
-        if injector is None:
-            raise
-        # Fault-injected corrupt inputs: the model guards rejected
-        # them — report structurally, not as a traceback.
-        _LOG.error("mitigation rejected corrupt inputs: %s", exc)
-        print(f"input-rejected command=mitigate seed={args.seed} "
-              f"error={exc}", file=sys.stderr)
-        return EXIT_INPUT_REJECTED
-    for line in plan.describe():
-        print(line)
-    run_rollout = bool(args.faults or args.checkpoint)
-    if args.gradual or run_rollout:
-        gradual = magus.gradual_schedule(plan)
-        direct = magus.direct_migration_stats(plan)
-        stats = gradual.stats()
-        print()
-        for line in stats.describe():
+        try:
+            plan = magus.plan_mitigation(targets, tuning=args.tuning)
+        except ValueError as exc:
+            if injector is None:
+                raise
+            # Fault-injected corrupt inputs: the model guards rejected
+            # them — report structurally, not as a traceback.
+            _LOG.error("mitigation rejected corrupt inputs: %s", exc)
+            print(f"input-rejected command=mitigate seed={args.seed} "
+                  f"error={exc}", file=sys.stderr)
+            return EXIT_INPUT_REJECTED
+        for line in plan.describe():
             print(line)
-        print(f"direct-tuning peak: "
-              f"{direct.peak_simultaneous_ues:.0f} UEs "
-              f"(x{gradual.reduction_vs(direct):.1f} reduction)")
-        if run_rollout:
-            from .faults import ResilientExecutor
-            executor = ResilientExecutor(
-                magus.evaluator, network=magus.network,
-                injector=injector, checkpoint_path=args.checkpoint)
-            rollout = executor.execute(gradual)
+        run_rollout = bool(args.faults or args.checkpoint)
+        if args.gradual or run_rollout:
+            gradual = magus.gradual_schedule(plan)
+            direct = magus.direct_migration_stats(plan)
+            stats = gradual.stats()
             print()
-            for line in rollout.describe():
+            for line in stats.describe():
                 print(line)
-            if not rollout.completed:
-                _LOG.error(
-                    "rollout aborted reason=%s steps_applied=%d "
-                    "retries=%d fallback=last-known-good",
-                    rollout.reason, rollout.steps_applied,
-                    rollout.retries)
-                print(f"rollout-aborted reason={rollout.reason} "
-                      f"steps_applied={rollout.steps_applied} "
-                      f"retries={rollout.retries} "
-                      f"fallback=last-known-good", file=sys.stderr)
-                status = EXIT_ROLLOUT_ABORTED
+            print(f"direct-tuning peak: "
+                  f"{direct.peak_simultaneous_ues:.0f} UEs "
+                  f"(x{gradual.reduction_vs(direct):.1f} reduction)")
+            if run_rollout:
+                from .faults import ResilientExecutor
+                executor = ResilientExecutor(
+                    magus.evaluator, network=magus.network,
+                    injector=injector, checkpoint_path=args.checkpoint)
+                rollout = executor.execute(gradual)
+                print()
+                for line in rollout.describe():
+                    print(line)
+                if not rollout.completed:
+                    _LOG.error(
+                        "rollout aborted reason=%s steps_applied=%d "
+                        "retries=%d fallback=last-known-good",
+                        rollout.reason, rollout.steps_applied,
+                        rollout.retries)
+                    print(f"rollout-aborted reason={rollout.reason} "
+                          f"steps_applied={rollout.steps_applied} "
+                          f"retries={rollout.retries} "
+                          f"fallback=last-known-good", file=sys.stderr)
+                    status = EXIT_ROLLOUT_ABORTED
+    finally:
+        magus.close()
     if args.metrics_out or args.trace:
         report = RunReport.from_mitigation(
             plan, command="mitigate", registry=get_registry(),
             tracer=trace,
             meta={"area_type": args.area_type, "seed": args.seed,
                   "scenario": args.scenario, "tuning": args.tuning,
-                  "evaluation_strategy": strategy,
+                  "evaluation_strategy": magus_strategy,
+                  "workers": args.workers,
                   "fault_plan": args.faults})
         _emit_report(report, args)
     return status

@@ -24,9 +24,21 @@ Two evaluation strategies are supported (``strategy=`` knob):
     Every cache miss runs the complete Formula 1-4 pass — the ablation
     baseline, also reachable via the CLI's ``--no-delta``.
 
+``"parallel"``
+    The delta strategy, plus a process-pool
+    :class:`~repro.parallel.EvaluationService` (``workers=N``) that
+    fans large :meth:`score_candidates` batches across cores over
+    shared-memory mW planes.  Results are bitwise identical to
+    ``"delta"``; batches below the service's threshold — and every
+    single-configuration query — stay on the serial path.
+
 :meth:`score_candidates` additionally batches K single-sector
 candidates into one vectorized engine pass; batch scores are never
 cached, so accepted candidates are always confirmed canonically.
+
+A parallel evaluator owns worker processes: call :meth:`close` (or use
+the evaluator as a context manager) when done.  The serial strategies
+make both a no-op.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ from .utility import UtilityFunction, get_utility
 
 __all__ = ["Evaluator", "EVALUATION_STRATEGIES"]
 
-EVALUATION_STRATEGIES = ("full", "delta")
+EVALUATION_STRATEGIES = ("full", "delta", "parallel")
 
 #: Largest number of candidates scored in one vectorized engine pass;
 #: bigger requests are chunked to bound peak memory (K * raster each
@@ -58,7 +70,9 @@ class Evaluator:
     def __init__(self, engine: AnalysisEngine, ue_density: np.ndarray,
                  utility: UtilityFunction | str = "performance",
                  cache_size: int = 512,
-                 strategy: str = "delta") -> None:
+                 strategy: str = "delta",
+                 workers: Optional[int] = None,
+                 min_parallel_batch: Optional[int] = None) -> None:
         if ue_density.shape != engine.grid.shape:
             raise ValueError("UE raster does not match engine grid")
         if cache_size < 0:
@@ -72,6 +86,18 @@ class Evaluator:
         self.utility = (get_utility(utility)
                         if isinstance(utility, str) else utility)
         self.strategy = strategy
+        self.workers = workers
+        self.min_parallel_batch = min_parallel_batch
+        self._service = None
+        if strategy == "parallel":
+            # Construction is cheap — the pool forks lazily on the
+            # first batch above the threshold.
+            from ..parallel import EvaluationService
+            kwargs = {}
+            if min_parallel_batch is not None:
+                kwargs["min_parallel_batch"] = min_parallel_batch
+            self._service = EvaluationService(
+                engine, self.ue_density, self.utility, workers, **kwargs)
         self._cache: "OrderedDict[Configuration, Tuple[NetworkState, float]]" = \
             OrderedDict()
         self._cache_size = cache_size
@@ -122,10 +148,28 @@ class Evaluator:
         return other.evaluate(self.state_of(config))
 
     def with_utility(self, utility: UtilityFunction | str) -> "Evaluator":
-        """A sibling evaluator sharing the engine and UE raster."""
+        """A sibling evaluator sharing the engine and UE raster.
+
+        The sibling owns its own (lazily forked) worker pool when the
+        strategy is ``"parallel"``; close both when done.
+        """
         return Evaluator(self.engine, self.ue_density, utility,
                          cache_size=self._cache_size,
-                         strategy=self.strategy)
+                         strategy=self.strategy,
+                         workers=self.workers,
+                         min_parallel_batch=self.min_parallel_batch)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the parallel service, if any (idempotent)."""
+        if self._service is not None:
+            self._service.close()
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def score_candidates(self,
@@ -160,16 +204,22 @@ class Evaluator:
                              incumbent, configs[i]) is not None]
                 if not group:
                     continue
-                for start in range(0, len(group), _BATCH_CHUNK):
-                    chunk = group[start:start + _BATCH_CHUNK]
-                    batch = self.engine.evaluate_batch(
-                        incumbent, [configs[i] for i in chunk],
-                        self.ue_density)
-                    if batch is None:      # defensive; eligibility checked
-                        break
-                    for i, value in zip(chunk,
-                                        self._batch_utilities(batch)):
+                parallel = self._score_parallel(
+                    incumbent, [configs[i] for i in group])
+                if parallel is not None:
+                    for i, value in zip(group, parallel):
                         scores[i] = value
+                else:
+                    for start in range(0, len(group), _BATCH_CHUNK):
+                        chunk = group[start:start + _BATCH_CHUNK]
+                        batch = self.engine.evaluate_batch(
+                            incumbent, [configs[i] for i in chunk],
+                            self.ue_density)
+                        if batch is None:  # defensive; eligibility checked
+                            break
+                        for i, value in zip(chunk,
+                                            self._batch_utilities(batch)):
+                            scores[i] = value
                 scored = [i for i in group if scores[i] is not None]
                 self._eval_counter.inc(len(scored))
                 registry.counter(
@@ -184,8 +234,21 @@ class Evaluator:
     def _batchable(self) -> bool:
         # A custom ``evaluate`` override may inspect the whole state;
         # the batch path only materializes stacked rate rasters.
-        return (self.strategy == "delta"
+        return (self.strategy in ("delta", "parallel")
                 and type(self.utility).evaluate is UtilityFunction.evaluate)
+
+    def _score_parallel(self, incumbent: DeltaIncumbent,
+                        configs: List[Configuration]
+                        ) -> Optional[List[float]]:
+        """Fan one incumbent's candidate group out to the pool.
+
+        ``None`` means "score serially": no service, batch under the
+        threshold, or the service declined (stale epoch, worker
+        failure, daemonic process...).
+        """
+        if self._service is None:
+            return None
+        return self._service.score_batch(incumbent, configs)
 
     def _batch_utilities(self, batch) -> np.ndarray:
         values = self.utility.per_ue(batch.rate_bps)      # (K, H, W)
@@ -199,10 +262,10 @@ class Evaluator:
             self._cache.move_to_end(config)
             get_registry().counter("magus.evaluator.cache_hits").inc()
             return hit
-        if self.strategy == "delta":
-            state = self._evaluate_delta(config)
-        else:
+        if self.strategy == "full":
             state = self.engine.evaluate(config, self.ue_density)
+        else:                     # "delta" and "parallel" share the path
+            state = self._evaluate_delta(config)
         value = self.utility.evaluate(state)
         self._eval_counter.inc()
         get_registry().counter("magus.evaluator.model_evaluations").inc()

@@ -56,10 +56,12 @@ class Magus:
                  power_settings: Optional[PowerSearchSettings] = None,
                  tilt_settings: Optional[TiltSearchSettings] = None,
                  default_config: Optional[Configuration] = None,
-                 evaluation_strategy: str = "delta") -> None:
+                 evaluation_strategy: str = "delta",
+                 workers: Optional[int] = None) -> None:
         self.network = network
         self.evaluator = Evaluator(engine, ue_density, utility,
-                                   strategy=evaluation_strategy)
+                                   strategy=evaluation_strategy,
+                                   workers=workers)
         self.power_settings = power_settings or PowerSearchSettings()
         self.tilt_settings = tilt_settings or TiltSearchSettings()
         self.default_config = (default_config
@@ -76,6 +78,17 @@ class Magus:
         kwargs.setdefault("default_config", area.c_before)
         return cls(area.network, area.engine, area.ue_density,
                    utility=utility, **kwargs)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release evaluator resources (the parallel worker pool)."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "Magus":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def plan_mitigation(self, target_sectors: Sequence[int],

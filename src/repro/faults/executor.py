@@ -323,6 +323,11 @@ class ResilientExecutor:
                 _LOG.error("fallback push failed; network state unknown")
         if self.checkpoint_path is not None:
             self._write_checkpoint(result)
+        # An aborted run exits soon after: make sure a parallel
+        # evaluator's worker pool dies with it, not as orphans.
+        close = getattr(self.evaluator, "close", None)
+        if close is not None:
+            close()
 
     def _write_checkpoint(self, result: RolloutResult,
                           step: Optional[int] = None,

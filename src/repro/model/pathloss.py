@@ -26,6 +26,7 @@ deterministic for a given seed so the whole evaluation is reproducible.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Hashable, Literal, Optional, Sequence
@@ -60,6 +61,16 @@ class LRUCache:
     evicts the single oldest entry once ``maxsize`` is exceeded —
     *not* the whole cache, which is what made tilt search thrash
     before (every ninth assignment wiped all eight live ones).
+
+    **Thread-safe within one process**: all operations (including the
+    read-modify-write recency update inside ``get`` and the hit/miss
+    counters) hold an internal re-entrant lock, so concurrent
+    ``gain_tensor_mw`` callers cannot corrupt the OrderedDict.  It is
+    *not* shared across processes — each pool worker inherits (fork)
+    or rebuilds (spawn) a private copy and is that copy's single
+    owner; cross-process sharing of the cached planes goes through
+    :mod:`repro.parallel.shm` instead.  Pickling drops the lock and
+    recreates a fresh one on load.
     """
 
     def __init__(self, maxsize: int) -> None:
@@ -67,36 +78,54 @@ class LRUCache:
             raise ValueError("maxsize must be >= 0")
         self.maxsize = maxsize
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: Hashable):
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        if self.maxsize == 0:
-            return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            if self.maxsize == 0:
+                return
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
+
+    # Locks do not pickle: the spawn start method ships a WorkerState
+    # (engine included) to each child, which then owns a private cache.
+    def __getstate__(self) -> dict:
+        with self._lock:
+            state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
 
 @dataclass

@@ -1,0 +1,322 @@
+"""The process-pool evaluation service (parent side).
+
+:class:`EvaluationService` fans batches of single-sector candidates
+out across a pool of worker processes.  Design constraints, in order:
+
+1. **Bitwise identity with the serial path.**  Chunks are fixed by a
+   deterministic partition of the candidate list, each candidate's
+   utility is reduced over its own raster inside the worker (exactly
+   ``Evaluator._batch_utilities``), and results are reassembled in
+   candidate order — so neither the chunking nor completion order can
+   perturb a single bit.  Winner confirmation stays canonical in the
+   caller.
+2. **Zero-copy inputs.**  The incumbent's mW planes are exported once
+   per anchor through a :class:`~repro.parallel.shm.SharedPlaneStore`;
+   tasks carry only array *handles* plus compact ``(sector, setting)``
+   moves.  Under the ``fork`` start method the engine itself (path-
+   loss rasters included) is inherited copy-on-write at pool start.
+3. **Load balancing.**  Candidates are split into several chunks per
+   worker, pulled from the pool's shared task queue: a worker that
+   finishes early simply takes the next chunk — work stealing without
+   a bespoke scheduler.  ``magus.parallel.steals`` counts the chunks
+   workers absorbed beyond their even share.
+4. **Graceful degradation.**  Batches below ``min_parallel_batch``, a
+   single-worker service, a daemonic caller, a stale path-loss epoch
+   or any worker failure all return ``None`` — the caller's serial
+   delta path answers instead, with identical results.
+
+The service is a context manager; :meth:`close` terminates the pool
+and unlinks every shared-memory block, and is always safe to call
+again (the pool restarts lazily on the next large batch).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..model.engine import AnalysisEngine, DeltaIncumbent
+from ..model.network import Configuration
+from ..obs import get_logger, get_registry
+from . import worker as _worker
+from .shm import SharedPlaneStore
+
+__all__ = ["DEFAULT_MIN_PARALLEL_BATCH", "EvaluationService",
+           "resolve_workers"]
+
+_LOG = get_logger("parallel.service")
+
+#: Below this many candidates one vectorized in-process pass beats the
+#: pool round-trip (dispatch + result pickling) on every machine we
+#: measured; the bench's fallback-threshold check keeps this honest.
+DEFAULT_MIN_PARALLEL_BATCH = 8
+
+#: Chunks submitted per worker: >1 so the shared task queue can
+#: rebalance when chunks run at different speeds (work stealing), not
+#: so many that per-chunk dispatch overhead dominates.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: Upper bound on candidates per chunk — same peak-memory bound as the
+#: evaluator's serial batching.
+_MAX_CHUNK = 64
+
+#: Seconds to wait for one chunk before declaring the pool wedged.
+_RESULT_TIMEOUT_S = 600.0
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Default worker count: one per available core."""
+    if workers is None:
+        try:
+            return max(len(os.sched_getaffinity(0)), 1)
+        except AttributeError:  # pragma: no cover — non-Linux
+            return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return workers
+
+
+def _in_daemon() -> bool:
+    """Pool workers are daemonic and cannot fork grandchildren."""
+    return multiprocessing.current_process().daemon
+
+
+class EvaluationService:
+    """Scores candidate batches on a process pool over shared planes."""
+
+    def __init__(self, engine: AnalysisEngine, ue_density: np.ndarray,
+                 utility, workers: Optional[int] = None, *,
+                 min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
+                 chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER
+                 ) -> None:
+        if min_parallel_batch < 1:
+            raise ValueError("min_parallel_batch must be >= 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        self.engine = engine
+        self.ue_density = np.asarray(ue_density, dtype=float)
+        self.utility = utility
+        self.workers = resolve_workers(workers)
+        self.min_parallel_batch = min_parallel_batch
+        self.chunks_per_worker = chunks_per_worker
+        self._pool = None
+        self._pool_epoch: Optional[int] = None
+        self._store = SharedPlaneStore()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._pool is not None
+
+    def usable(self) -> bool:
+        """Whether this process can ever profit from the pool."""
+        return self.workers >= 2 and not _in_daemon()
+
+    def start(self) -> None:
+        """Fork the pool now (normally done lazily on the first batch)."""
+        self._ensure_pool()
+
+    def restart(self) -> None:
+        """Tear the pool down and fork a fresh one.
+
+        Needed when fork-inherited state must be refreshed — new
+        path-loss rasters after :meth:`invalidate_caches`, or a
+        just-installed scenario-sweep payload.
+        """
+        self._shutdown_pool()
+        self._ensure_pool()
+
+    def close(self) -> None:
+        """Terminate workers and unlink shared memory (idempotent)."""
+        self._shutdown_pool()
+        self._store.close()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> None:
+        if not self.usable():
+            return
+        epoch = self.engine.pathloss.cache_epoch
+        if self._pool is not None:
+            if self._pool_epoch == epoch:
+                return
+            # Fork-inherited rasters are stale; re-fork from the
+            # current parent state.
+            _LOG.info("pathloss epoch changed (%s -> %s); restarting "
+                      "worker pool", self._pool_epoch, epoch)
+            self._shutdown_pool()
+        methods = multiprocessing.get_all_start_methods()
+        state = _worker.WorkerState(engine=self.engine,
+                                    ue_density=self.ue_density,
+                                    utility=self.utility)
+        if "fork" in methods:
+            ctx = multiprocessing.get_context("fork")
+            # Children inherit the engine (path-loss rasters included)
+            # copy-on-write: set the module global before forking.
+            _worker._FORK_STATE = state
+            initargs = (None,)
+        else:  # pragma: no cover — non-fork platforms
+            ctx = multiprocessing.get_context()
+            initargs = (state,)
+        self._pool = ctx.Pool(processes=self.workers,
+                              initializer=_worker._init_worker,
+                              initargs=initargs)
+        self._pool_epoch = epoch
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        self._pool_epoch = None
+        pool.terminate()
+        pool.join()
+
+    # ------------------------------------------------------------------
+    # candidate scoring
+    # ------------------------------------------------------------------
+    def score_batch(self, incumbent: DeltaIncumbent,
+                    configs: Sequence[Configuration]
+                    ) -> Optional[List[float]]:
+        """Utilities for single-sector ``configs`` vs. ``incumbent``.
+
+        Returns ``None`` whenever the serial path should answer
+        instead: batch below the threshold, unusable pool, stale
+        incumbent, or any worker-side refusal/failure.  On success the
+        values are bitwise identical to
+        ``Evaluator._batch_utilities(engine.evaluate_batch(...))``.
+        """
+        k = len(configs)
+        if k == 0:
+            return []
+        if (not self.usable() or k < self.min_parallel_batch
+                or incumbent.epoch != self.engine.pathloss.cache_epoch):
+            return None
+        moves = self._encode_moves(incumbent, configs)
+        if moves is None:
+            return None
+        self._ensure_pool()
+        if self._pool is None:
+            return None
+        handles = self._export_incumbent(incumbent)
+        chunk_count = min(k, self.workers * self.chunks_per_worker)
+        chunk_count = max(chunk_count, math.ceil(k / _MAX_CHUNK))
+        bounds = np.linspace(0, k, chunk_count + 1).astype(int)
+        tasks = [
+            _worker.ScoreTask(chunk_index=i, config=incumbent.config,
+                              handles=handles,
+                              moves=tuple(moves[bounds[i]:bounds[i + 1]]))
+            for i in range(chunk_count) if bounds[i] < bounds[i + 1]]
+        results = self._dispatch(_worker._score_chunk, tasks)
+        if results is None:
+            return None
+        ordered: List[Optional[List[float]]] = [None] * len(tasks)
+        for chunk_index, utilities, _pid, _busy in results:
+            if utilities is None:
+                return None
+            ordered[chunk_index] = utilities
+        scores: List[float] = []
+        for part in ordered:
+            scores.extend(part)
+        # Keep the engine-level accounting identical to a serial
+        # batched pass (workers count into their own forked copies).
+        self.engine._eval_counter.inc(k)
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc(k)
+        registry.counter("magus.engine.batched_candidates").inc(k)
+        return scores
+
+    def _encode_moves(self, incumbent: DeltaIncumbent,
+                      configs: Sequence[Configuration]):
+        moves = []
+        for config in configs:
+            diff = incumbent.config.diff(config)
+            if len(diff) != 1:
+                return None
+            sector_id, (_, setting) = next(iter(diff.items()))
+            moves.append((sector_id, setting))
+        return moves
+
+    def _export_incumbent(self, incumbent: DeltaIncumbent):
+        key = (incumbent.config, incumbent.epoch)
+        cached = self._store.handles(key)
+        if cached is not None:
+            return cached
+        runner_val, runner_idx = incumbent.runner_up()
+        return self._store.export(key, {
+            "planes": incumbent.planes,
+            "total_mw": incumbent.total_mw,
+            "raw_serving": incumbent.raw_serving,
+            "best_mw": incumbent.best_mw,
+            "runner_val": runner_val,
+            "runner_idx": runner_idx,
+        })
+
+    # ------------------------------------------------------------------
+    # generic fan-out (scenario sweeps ride the same pool)
+    # ------------------------------------------------------------------
+    def run_tasks(self, fn: Callable, items: Sequence,
+                  timeout_s: Optional[float] = None) -> Optional[list]:
+        """Run ``fn(item)`` for every item on the pool, results ordered.
+
+        Returns ``None`` when the pool is unusable or a worker failed —
+        callers run the loop serially instead.
+        """
+        if not items:
+            return []
+        if not self.usable():
+            return None
+        self._ensure_pool()
+        if self._pool is None:
+            return None
+        return self._dispatch(fn, items, timeout_s=timeout_s)
+
+    def _dispatch(self, fn: Callable, items: Sequence,
+                  timeout_s: Optional[float] = None) -> Optional[list]:
+        registry = get_registry()
+        pending = [self._pool.apply_async(fn, (item,)) for item in items]
+        registry.counter("magus.parallel.tasks").inc(len(pending))
+        results = []
+        try:
+            for handle in pending:
+                results.append(handle.get(
+                    timeout=timeout_s or _RESULT_TIMEOUT_S))
+        except Exception as exc:   # worker died / timed out / raised
+            _LOG.warning("parallel dispatch failed (%s: %s); falling "
+                         "back to the serial path",
+                         type(exc).__name__, exc)
+            self._shutdown_pool()
+            return None
+        self._account_steals(results, registry)
+        return results
+
+    def _account_steals(self, results: list, registry) -> None:
+        """Work-stealing accounting from per-chunk worker attribution.
+
+        With ``chunks_per_worker`` chunks on the shared queue, an even
+        world gives every worker ``ceil(tasks / workers)``; anything a
+        worker ran beyond that share it stole from a slower sibling.
+        """
+        per_pid: dict = {}
+        busy_total = 0
+        for result in results:
+            if (isinstance(result, tuple) and len(result) == 4
+                    and isinstance(result[2], int)):
+                per_pid[result[2]] = per_pid.get(result[2], 0) + 1
+                busy_total += result[3]
+        if not per_pid:
+            return
+        fair = math.ceil(sum(per_pid.values()) / self.workers)
+        steals = sum(max(0, count - fair) for count in per_pid.values())
+        if steals:
+            registry.counter("magus.parallel.steals").inc(steals)
+        registry.counter("magus.parallel.worker_busy_ns").inc(busy_total)

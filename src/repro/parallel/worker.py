@@ -1,0 +1,144 @@
+"""Worker-process side of the evaluation service.
+
+Everything in this module runs inside pool workers (plus the tiny
+parent-side shims that set up the fork-inherited state).  The contract
+with :mod:`repro.parallel.service`:
+
+* the parent sets :data:`_FORK_STATE` (and, for scenario sweeps,
+  :data:`_SWEEP_STATE`) **before** creating the pool, so ``fork``
+  children inherit the engine / planner copy-on-write — no pickling;
+  under ``spawn`` the same payload arrives through the initializer;
+* a :class:`ScoreTask` carries only the incumbent's *handles* into
+  shared memory plus compact single-sector moves; the worker maps the
+  planes once per incumbent (cached by block name) and scores its
+  chunk with the standard :meth:`AnalysisEngine.evaluate_batch`;
+* utilities are reduced in-worker exactly as
+  ``Evaluator._batch_utilities`` does — per-candidate sums over the
+  candidate's own raster — so the returned floats are bitwise
+  identical to the serial batched path regardless of chunking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..model.engine import AnalysisEngine, DeltaIncumbent
+from ..model.network import Configuration, SectorSetting
+from .shm import SharedArrayHandle, attach_array, attach_block
+
+__all__ = ["ScoreTask", "WorkerState"]
+
+#: Attached incumbents kept per worker (mirrors the store capacity).
+_WORKER_CACHE_SIZE = 2
+
+
+@dataclass
+class WorkerState:
+    """The per-process evaluation context every score task runs in."""
+
+    engine: AnalysisEngine
+    ue_density: np.ndarray
+    utility: object          # UtilityFunction with a pure ``per_ue``
+
+
+@dataclass(frozen=True)
+class ScoreTask:
+    """One chunk of single-sector candidates against one incumbent."""
+
+    chunk_index: int
+    config: Configuration                   # the incumbent configuration
+    handles: Dict[str, SharedArrayHandle]   # planes/serving/runner arrays
+    moves: Tuple[Tuple[int, SectorSetting], ...]  # (sector, new setting)
+
+
+# -- process-global state ----------------------------------------------
+#: Set by the parent immediately before forking a scoring pool.
+_FORK_STATE: Optional[WorkerState] = None
+#: Set by the parent immediately before forking a sweep-capable pool.
+_SWEEP_STATE: Optional[tuple] = None
+#: The child's bound state (established by :func:`_init_worker`).
+_STATE: Optional[WorkerState] = None
+#: Attached incumbents: planes block name -> (incumbent, shm blocks).
+_INCUMBENTS: "OrderedDict[str, tuple]" = OrderedDict()
+
+
+def _init_worker(payload: Optional[WorkerState] = None) -> None:
+    """Pool initializer: bind the worker's evaluation context.
+
+    ``payload`` is ``None`` under ``fork`` (the state is inherited via
+    :data:`_FORK_STATE`) and the pickled :class:`WorkerState` under
+    ``spawn``.
+    """
+    global _STATE
+    _STATE = payload if payload is not None else _FORK_STATE
+    _INCUMBENTS.clear()
+
+
+def _attach_incumbent(task: ScoreTask) -> DeltaIncumbent:
+    """Map the task's incumbent from shared memory (cached per block)."""
+    key = task.handles["planes"].block
+    cached = _INCUMBENTS.get(key)
+    if cached is not None:
+        _INCUMBENTS.move_to_end(key)
+        return cached[0]
+    blocks = {}
+    views = {}
+    for name, handle in task.handles.items():
+        block = blocks.get(handle.block)
+        if block is None:
+            block = blocks[handle.block] = attach_block(handle.block)
+        views[name] = attach_array(handle, block)
+    incumbent = DeltaIncumbent(
+        task.config, views["planes"], views["total_mw"],
+        views["raw_serving"], views["best_mw"],
+        _STATE.engine.pathloss.cache_epoch)
+    incumbent._runner = (views["runner_val"], views["runner_idx"])
+    _INCUMBENTS[key] = (incumbent, list(blocks.values()))
+    while len(_INCUMBENTS) > _WORKER_CACHE_SIZE:
+        _, (_, old_blocks) = _INCUMBENTS.popitem(last=False)
+        for block in old_blocks:
+            block.close()
+    return incumbent
+
+
+def _score_chunk(task: ScoreTask
+                 ) -> Tuple[int, Optional[List[float]], int, int]:
+    """Score one candidate chunk; returns ``(index, utilities, pid, ns)``.
+
+    ``utilities`` is ``None`` when the engine refused the batch (e.g.
+    a move that is not a single-sector change arrived anyway); the
+    parent then rescores the whole request serially.
+    """
+    t0 = time.perf_counter_ns()
+    state = _STATE
+    incumbent = _attach_incumbent(task)
+    base = list(task.config.settings)
+    configs = []
+    for sector_id, setting in task.moves:
+        settings = list(base)
+        settings[sector_id] = setting
+        configs.append(Configuration(tuple(settings)))
+    batch = state.engine.evaluate_batch(incumbent, configs,
+                                        state.ue_density)
+    if batch is None:
+        return task.chunk_index, None, os.getpid(), \
+            time.perf_counter_ns() - t0
+    # Identical reduction to Evaluator._batch_utilities: each
+    # candidate's utility is summed over its own raster only, so
+    # chunk boundaries cannot perturb the result.
+    values = state.utility.per_ue(batch.rate_bps) * state.ue_density
+    utilities = values.reshape(values.shape[0], -1).sum(axis=1)
+    return (task.chunk_index, [float(u) for u in utilities],
+            os.getpid(), time.perf_counter_ns() - t0)
+
+
+def _run_sweep_item(index: int):
+    """Run one planner scenario from the fork-inherited sweep state."""
+    planner, scenarios, kwargs = _SWEEP_STATE
+    return planner.mitigate(scenarios[index], **kwargs)

@@ -10,8 +10,9 @@ evaluation sections report on.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.gradual import GradualResult, GradualSettings
 from ..core.magus import Magus
@@ -103,3 +104,46 @@ class UpgradePlanner:
         return UpgradeOutcome(area_name=self.area.name, scenario=scenario,
                               tuning=tuning, plan=plan,
                               gradual=gradual, direct_stats=direct)
+
+    # ------------------------------------------------------------------
+    def sweep_scenarios(self, scenarios: Sequence[UpgradeScenario],
+                        workers: Optional[int] = None,
+                        **mitigate_kwargs) -> List[UpgradeOutcome]:
+        """Mitigate several independent scenarios, one per worker.
+
+        The per-maintenance-window counterpart of candidate-level
+        parallelism: each scenario is a full :meth:`mitigate` run, so
+        the sweep forks a pool that inherits this planner (engine and
+        rasters included) copy-on-write and returns outcomes in the
+        order the scenarios were given — identical to the serial loop.
+
+        Falls back to that serial loop whenever the pool cannot help:
+        ``workers=1``, fewer than two scenarios, no ``fork`` start
+        method, a daemonic caller, or a worker failure.
+        """
+        from ..parallel import EvaluationService, resolve_workers
+        from ..parallel import worker as _worker
+        scenarios = list(scenarios)
+        kwargs = dict(mitigate_kwargs)
+        n_workers = min(resolve_workers(workers), max(len(scenarios), 1))
+        can_fork = "fork" in multiprocessing.get_all_start_methods()
+        if len(scenarios) >= 2 and n_workers >= 2 and can_fork:
+            # The sweep payload must exist before the fork so children
+            # inherit it; it never travels through pickle.
+            _worker._SWEEP_STATE = (self, tuple(scenarios), kwargs)
+            try:
+                evaluator = self.magus.evaluator
+                with EvaluationService(evaluator.engine,
+                                       evaluator.ue_density,
+                                       evaluator.utility,
+                                       n_workers) as service:
+                    results = service.run_tasks(
+                        _worker._run_sweep_item, range(len(scenarios)))
+                if results is not None:
+                    return results
+                _LOG.warning("parallel sweep failed; rerunning the "
+                             "%d scenarios serially", len(scenarios))
+            finally:
+                _worker._SWEEP_STATE = None
+        return [self.mitigate(scenario, **kwargs)
+                for scenario in scenarios]

@@ -294,3 +294,127 @@ class TestSearchParityEndToEnd:
             plans[strategy] = magus.plan_mitigation([1], tuning=tuning)
         assert (plans["delta"].c_after == plans["full"].c_after)
         assert (plans["delta"].f_after == plans["full"].f_after)
+
+
+# ----------------------------------------------------------------------
+def _parallel_evaluator(engine, density, workers,
+                        min_parallel_batch=2) -> Evaluator:
+    """A pool-backed evaluator eager enough to engage on toy batches."""
+    return Evaluator(engine, density, _UTILITY, strategy="parallel",
+                     workers=workers,
+                     min_parallel_batch=min_parallel_batch)
+
+
+def _power_ladder(network, config, sectors, deltas):
+    """Single-sector power candidates around ``config`` (in-range)."""
+    candidates = []
+    for sector in sectors:
+        spec = network.sector(sector)
+        for delta in deltas:
+            power = float(np.clip(config.power_dbm(sector) + delta,
+                                  spec.min_power_dbm,
+                                  spec.max_power_dbm))
+            candidates.append(config.with_power(sector, power))
+    return candidates
+
+
+class TestParallelParity:
+    """``strategy="parallel"`` is bitwise-identical to the serial path.
+
+    ``workers=1`` must degrade to pure serial (no pool at all);
+    ``workers=6`` oversubscribes the host's cores — correctness cannot
+    depend on the worker count.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 6])
+    def test_score_candidates_bitwise(self, workers, toy_network,
+                                      toy_engine, toy_density):
+        base = toy_network.planned_configuration()
+        candidates = _power_ladder(toy_network, base, (0, 1, 2),
+                                   (-3.0, -1.0, 1.0, 2.0, 3.0))
+        serial = Evaluator(toy_engine, toy_density, _UTILITY,
+                           strategy="delta")
+        serial.utility_of(base)
+        want = serial.score_candidates(candidates)
+        with _parallel_evaluator(toy_engine, toy_density,
+                                 workers) as parallel:
+            parallel.utility_of(base)
+            got = parallel.score_candidates(candidates)
+        assert got == want
+
+    def test_workers_1_never_forks(self, toy_network, toy_engine,
+                                   toy_density):
+        base = toy_network.planned_configuration()
+        with _parallel_evaluator(toy_engine, toy_density, 1) as ev:
+            ev.utility_of(base)
+            ev.score_candidates(_power_ladder(
+                toy_network, base, (0, 1, 2), (-1.0, 1.0, 2.0)))
+            assert not ev._service.running
+
+    @given(moves=_MOVES)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_chain_bitwise(self, moves, toy_network, toy_engine,
+                                  toy_density):
+        """Parity holds from any reachable incumbent, not just C_before."""
+        config = toy_network.planned_configuration()
+        for move in moves:
+            config = _apply_move(toy_network, config, move)
+        candidates = _power_ladder(toy_network, config, (0, 1, 2),
+                                   (-2.0, -1.0, 1.0, 2.0))
+        serial = Evaluator(toy_engine, toy_density, _UTILITY,
+                           strategy="delta")
+        serial.utility_of(config)
+        want = serial.score_candidates(candidates)
+        with _parallel_evaluator(toy_engine, toy_density, 2) as parallel:
+            parallel.utility_of(config)
+            assert parallel.score_candidates(candidates) == want
+
+    @pytest.mark.parametrize("tuning", ["power", "tilt", "joint"])
+    @pytest.mark.parametrize("workers", [1, 2, 6])
+    def test_plans_agree(self, tuning, workers, toy_network, toy_engine,
+                         toy_density):
+        from repro.core.magus import Magus
+        serial = Magus(toy_network, toy_engine, toy_density,
+                       evaluation_strategy="delta")
+        want = serial.plan_mitigation([1], tuning=tuning)
+        with Magus(toy_network, toy_engine, toy_density,
+                   evaluation_strategy="parallel",
+                   workers=workers) as magus:
+            if magus.evaluator._service is not None:
+                magus.evaluator._service.min_parallel_batch = 2
+            got = magus.plan_mitigation([1], tuning=tuning)
+        assert got.c_after == want.c_after
+        assert got.f_after == want.f_after
+        assert got.tuning.n_steps == want.tuning.n_steps
+
+    def test_brute_force_agrees(self, toy_network, toy_engine,
+                                toy_density):
+        from repro.core.brute import BruteForceSettings
+        from repro.core.magus import Magus
+        settings_ = BruteForceSettings(unit_db=2.0, max_delta_db=4.0)
+        serial = Magus(toy_network, toy_engine, toy_density,
+                       evaluation_strategy="delta")
+        want = serial.brute_force_plan([1], settings_)
+        with Magus(toy_network, toy_engine, toy_density,
+                   evaluation_strategy="parallel", workers=2) as magus:
+            magus.evaluator._service.min_parallel_batch = 2
+            got = magus.brute_force_plan([1], settings_)
+        assert got.c_after == want.c_after
+        assert got.f_after == want.f_after
+
+    def test_gradual_agrees(self, toy_network, toy_engine, toy_density):
+        from repro.core.magus import Magus
+        serial = Magus(toy_network, toy_engine, toy_density,
+                       evaluation_strategy="delta")
+        plan_s = serial.plan_mitigation([1], tuning="power")
+        want = serial.gradual_schedule(plan_s)
+        with Magus(toy_network, toy_engine, toy_density,
+                   evaluation_strategy="parallel", workers=2) as magus:
+            magus.evaluator._service.min_parallel_batch = 2
+            plan_p = magus.plan_mitigation([1], tuning="power")
+            got = magus.gradual_schedule(plan_p)
+        assert plan_p.c_after == plan_s.c_after
+        assert got.configs == want.configs
+        assert got.utilities == want.utilities
+        assert got.compensation_steps == want.compensation_steps
