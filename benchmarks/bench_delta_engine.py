@@ -26,7 +26,8 @@ from typing import List
 
 from repro.core.evaluation import Evaluator
 
-from conftest import median_s, neighbor_power_ladder, report
+from conftest import (host_provenance, median_s, neighbor_power_ladder,
+                      report)
 
 #: Rounds per median; override for quick CI smoke runs.
 _ROUNDS = int(os.environ.get("BENCH_PR4_ROUNDS", "5"))
@@ -130,6 +131,7 @@ def test_write_results_json():
         "schema": "magus.bench-pr4/1",
         "generated_by": "benchmarks/bench_delta_engine.py",
         "rounds": _ROUNDS,
+        "host": host_provenance(),
         "results": _RESULTS,
     }
     _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n",

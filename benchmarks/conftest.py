@@ -8,6 +8,8 @@ capture layer so the regenerated tables/series show up in
 
 from __future__ import annotations
 
+import os
+import platform
 import statistics
 import sys
 import time
@@ -49,6 +51,26 @@ def pytest_addoption(parser) -> None:
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
     return bool(request.config.getoption("--quick"))
+
+
+def host_provenance() -> Dict[str, object]:
+    """Where this bench ran — attached to every ``BENCH_*.json``.
+
+    Perf numbers (and skipped speedup bars) are meaningless without the
+    host that produced them; a 1-CPU CI runner legitimately skips the
+    >=8-worker scaling assertion that a 16-core box must pass.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        usable = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
 
 
 def report(text: str) -> None:

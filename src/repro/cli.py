@@ -13,7 +13,13 @@ Commands mirror the library's main workflows:
 Observability flags: a global ``-v`` / ``-vv`` (before the subcommand)
 turns on structured iteration logging; ``mitigate`` and ``testbed``
 additionally accept ``--metrics-out FILE.json`` (write the run's
-:class:`~repro.obs.RunReport`) and ``--trace`` (print the span tree).
+:class:`~repro.obs.RunReport`), ``--trace`` (print the span tree),
+``--trace-out FILE.json`` (export parent *and* worker spans in the
+Chrome trace-event format for Perfetto / ``chrome://tracing``) and
+``--flight-out FILE.json`` (dump the structured flight-recorder event
+ring).  Every exit path — including the SIGPIPE guard and the
+structured aborts with exit codes 3/4 — flushes each requested
+artifact exactly once.
 """
 
 from __future__ import annotations
@@ -27,8 +33,10 @@ from .analysis.ascii_map import render_serving_map
 from .analysis.report import format_series, format_table
 from .core.magus import Magus, TUNING_STRATEGIES
 from .faults import FaultInjector, FaultPlan
-from .obs import (MetricsRegistry, RunReport, get_logger, get_registry,
-                  set_registry, setup_logging, trace, verbosity_to_level)
+from .obs import (FlightRecorder, MetricsRegistry, RunReport,
+                  export_chrome_trace, get_flight_recorder, get_logger,
+                  get_registry, set_flight_recorder, set_registry,
+                  setup_logging, trace, verbosity_to_level)
 from .synthetic.calendar import (UpgradeCalendarGenerator, duration_stats,
                                  weekday_histogram)
 from .synthetic.market import build_area
@@ -124,6 +132,16 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "utility trajectory) as JSON")
     parser.add_argument("--trace", action="store_true",
                         help="collect and print the span tree of the run")
+    parser.add_argument("--trace-out", metavar="FILE.json", default=None,
+                        help="export the run's spans (parent and worker "
+                             "processes on separate tracks) in the Chrome "
+                             "trace-event format — open in Perfetto or "
+                             "chrome://tracing")
+    parser.add_argument("--flight-out", metavar="FILE.json", default=None,
+                        help="dump the flight recorder (rollout steps, "
+                             "faults, retries, pool fallbacks, search "
+                             "passes) as JSON; aborted runs dump it "
+                             "automatically")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,14 +157,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     }[args.command]
 
     observing = bool(getattr(args, "metrics_out", None)
-                     or getattr(args, "trace", False))
+                     or getattr(args, "trace", False)
+                     or getattr(args, "trace_out", None))
+    # The recorder runs whenever there is a consumer: an explicit
+    # --flight-out, or a fault plan whose abort path will flush it.
+    recording = bool(getattr(args, "flight_out", None)
+                     or getattr(args, "faults", None))
+    sink = _ObsSink(args)
     previous_registry = None
+    previous_recorder = None
     if observing:
         previous_registry = set_registry(MetricsRegistry())
-        if args.trace:
+        if args.trace or args.trace_out:
             trace.enable()
+    if recording:
+        previous_recorder = set_flight_recorder(
+            FlightRecorder(dump_path=args.flight_out))
     try:
-        status = handler(args)
+        status = handler(args, sink)
         sys.stdout.flush()
         return status
     except BrokenPipeError:
@@ -154,25 +182,82 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Redirect stdout to devnull so the interpreter's shutdown flush
         # does not raise again, and exit quietly (standard SIGPIPE
         # convention).
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+        _silence_stdout()
         return 0
     finally:
+        # Whatever path exits — success, structured aborts (codes
+        # 3/4), SIGPIPE — every requested artifact lands exactly once.
+        sink.finalize()
+        if recording:
+            set_flight_recorder(previous_recorder)
         if observing:
             trace.disable()
             trace.clear()
             set_registry(previous_registry)
 
 
-def _emit_report(report: RunReport, args) -> None:
+def _silence_stdout() -> None:
+    """Point stdout at devnull after a broken pipe (SIGPIPE guard)."""
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+
+
+class _ObsSink:
+    """Exactly-once writer for the run's on-disk observability artifacts.
+
+    The happy path writes the trace and run report from the command
+    handler (where run context — plan, trajectory — is available);
+    :meth:`finalize` runs in ``main``'s ``finally`` and catches
+    whatever the handler never reached (early returns, aborts,
+    SIGPIPE), so each requested file is written exactly once and no
+    partial duplicates are left behind.
+    """
+
+    def __init__(self, args) -> None:
+        self.command = args.command
+        self.metrics_out = getattr(args, "metrics_out", None)
+        self.trace_out = getattr(args, "trace_out", None)
+        self._metrics_written = False
+        self._trace_written = False
+
+    def write_trace(self) -> None:
+        """Export the Chrome trace (non-destructive peek of the spans).
+
+        Called *before* the run report is built: the report drains the
+        tracer, so ordering matters.
+        """
+        if self.trace_out is None or self._trace_written:
+            return
+        self._trace_written = True
+        export_chrome_trace(self.trace_out, tracer=trace)
+
+    def write_report(self, report: RunReport) -> bool:
+        if self.metrics_out is None or self._metrics_written:
+            return False
+        self._metrics_written = True
+        report.write(self.metrics_out)
+        return True
+
+    def finalize(self) -> None:
+        get_flight_recorder().flush()
+        self.write_trace()
+        if self.metrics_out is not None and not self._metrics_written:
+            # The handler exited before reaching its report emission
+            # (structured abort, SIGPIPE): still honor --metrics-out
+            # with the registry-only report.
+            self.write_report(RunReport.from_registry(
+                command=self.command, registry=get_registry(),
+                tracer=trace))
+
+
+def _emit_report(report: RunReport, args, sink: _ObsSink) -> None:
     """Write/print the run report per the ``--metrics-out``/``--trace``."""
     if args.trace and report.spans:
         print()
         print("trace:")
         for span_dict in report.spans:
             _print_span(span_dict, indent=1)
-    if args.metrics_out:
-        report.write(args.metrics_out)
+    if sink.write_report(report):
         print(f"run report written to {args.metrics_out}")
     elif args.trace:
         print()
@@ -191,7 +276,7 @@ def _print_span(span_dict: dict, indent: int = 0) -> None:
 
 
 # ----------------------------------------------------------------------
-def _cmd_area(args) -> int:
+def _cmd_area(args, sink: _ObsSink) -> int:
     area = build_area(AreaType(args.area_type), seed=args.seed)
     print(f"{area.name}: {area.network.n_sectors} sectors over "
           f"{area.grid.shape[0]}x{area.grid.shape[1]} grids "
@@ -204,7 +289,7 @@ def _cmd_area(args) -> int:
     return 0
 
 
-def _cmd_mitigate(args) -> int:
+def _cmd_mitigate(args, sink: _ObsSink) -> int:
     fault_plan = None
     injector = None
     if args.faults:
@@ -279,7 +364,10 @@ def _cmd_mitigate(args) -> int:
                     status = EXIT_ROLLOUT_ABORTED
     finally:
         magus.close()
-    if args.metrics_out or args.trace:
+    if args.metrics_out or args.trace or args.trace_out:
+        # Chrome trace first: it peeks at the finished spans, while the
+        # report construction below drains them.
+        sink.write_trace()
         report = RunReport.from_mitigation(
             plan, command="mitigate", registry=get_registry(),
             tracer=trace,
@@ -288,11 +376,13 @@ def _cmd_mitigate(args) -> int:
                   "evaluation_strategy": magus_strategy,
                   "workers": args.workers,
                   "fault_plan": args.faults})
-        _emit_report(report, args)
+        _emit_report(report, args, sink)
+        if args.trace_out:
+            print(f"chrome trace written to {args.trace_out}")
     return status
 
 
-def _cmd_testbed(args) -> int:
+def _cmd_testbed(args, sink: _ObsSink) -> int:
     if args.scenario == 1:
         bed, target = build_scenario_one(
             **({} if args.seed is None else {"seed": args.seed}))
@@ -309,7 +399,8 @@ def _cmd_testbed(args) -> int:
     print(format_series("no tuning", tl.times, tl.no_tuning, "{:.2f}"))
     print(format_series("reactive", tl.times, tl.reactive, "{:.2f}"))
     print(format_series("proactive", tl.times, tl.proactive, "{:.2f}"))
-    if args.metrics_out or args.trace:
+    if args.metrics_out or args.trace or args.trace_out:
+        sink.write_trace()
         registry = get_registry()
         measurements = registry.counter(
             "magus.testbed.measurements").value
@@ -323,11 +414,13 @@ def _cmd_testbed(args) -> int:
                   "f_after": result.f_after,
                   "recovery_ratio": result.recovery,
                   "reactive_steps": result.reactive_steps})
-        _emit_report(report, args)
+        _emit_report(report, args, sink)
+        if args.trace_out:
+            print(f"chrome trace written to {args.trace_out}")
     return 0
 
 
-def _cmd_calendar(args) -> int:
+def _cmd_calendar(args, sink: _ObsSink) -> int:
     tickets = UpgradeCalendarGenerator(n_sites=args.sites,
                                        seed=args.seed).generate()
     hist = weekday_histogram(tickets)
@@ -342,7 +435,7 @@ def _cmd_calendar(args) -> int:
     return 0
 
 
-def _cmd_validate(args) -> int:
+def _cmd_validate(args, sink: _ObsSink) -> int:
     from .analysis.validation import drive_test, validate_against
     area = build_area(AreaType(args.area_type), seed=args.seed)
     samples = drive_test(area.baseline, n_samples=args.samples,

@@ -20,20 +20,38 @@ The CLI exposes the same switches as ``--metrics-out FILE.json`` and
 the JSON/tabular artifact both share.
 """
 
+from .events import (FLIGHT_SCHEMA, NULL_FLIGHT_RECORDER, FlightRecorder,
+                     NullFlightRecorder, get_flight_recorder,
+                     set_flight_recorder, use_flight_recorder)
 from .logging import (ROOT_LOGGER_NAME, get_logger, setup_logging,
                       verbosity_to_level)
 from .registry import (NULL_REGISTRY, Counter, CostMeter, Gauge,
                        MetricsRegistry, NullRegistry, Timer, get_registry,
-                       set_registry, use_registry)
+                       labeled_metric, set_registry, split_metric_label,
+                       use_registry)
 from .report import SCHEMA, RunReport
+from .telemetry import (CHROME_TRACE_SCHEMA, WorkerTelemetry,
+                        chrome_trace_events, drain_worker_telemetry,
+                        export_chrome_trace, merge_worker_telemetry,
+                        reset_worker_observability, validate_chrome_trace,
+                        worker_label)
 from .tracer import Span, Tracer, trace
 
 __all__ = [
     "Counter", "CostMeter", "Gauge", "Timer",
     "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
     "get_registry", "set_registry", "use_registry",
+    "labeled_metric", "split_metric_label",
     "Span", "Tracer", "trace",
     "RunReport", "SCHEMA",
+    "WorkerTelemetry", "worker_label",
+    "reset_worker_observability", "drain_worker_telemetry",
+    "merge_worker_telemetry",
+    "chrome_trace_events", "export_chrome_trace", "validate_chrome_trace",
+    "CHROME_TRACE_SCHEMA",
+    "FlightRecorder", "NullFlightRecorder", "NULL_FLIGHT_RECORDER",
+    "FLIGHT_SCHEMA", "get_flight_recorder", "set_flight_recorder",
+    "use_flight_recorder",
     "ROOT_LOGGER_NAME", "get_logger", "setup_logging",
     "verbosity_to_level",
 ]

@@ -1,0 +1,208 @@
+"""A bounded flight recorder for operational event streams.
+
+Metrics answer "how much"; the flight recorder answers "what happened,
+in what order" when a run dies.  It is a fixed-capacity ring of
+structured events — search-pass transitions, rollout steps, fault
+injections, retries, pool fallbacks, checkpoint writes, sweep progress
+— recorded by the planner, the resilient executor, and the evaluation
+service, and dumped to disk exactly once on abort paths (CLI exit
+codes 3 and 4) or on demand via ``mitigate --flight-out``.
+
+The module mirrors the registry pattern of :mod:`repro.obs.registry`:
+a process-wide active recorder defaulting to a shared no-op
+:data:`NULL_FLIGHT_RECORDER`, swapped via :func:`set_flight_recorder`
+or scoped with :func:`use_flight_recorder`.  Recording into the null
+recorder costs one attribute load and a ``bool`` check, keeping the
+disabled path inside the obs overhead budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "FLIGHT_SCHEMA", "FlightRecorder", "NullFlightRecorder",
+    "NULL_FLIGHT_RECORDER", "get_flight_recorder", "set_flight_recorder",
+    "use_flight_recorder",
+]
+
+#: Schema tag stamped into every flight-recorder dump.
+FLIGHT_SCHEMA = "magus.flight-recorder/1"
+
+#: Default ring capacity — generous for a mitigation run (a full
+#: gradual rollout with retries emits a few hundred events) while
+#: bounding a week-long sweep to a few hundred KB of memory.
+DEFAULT_CAPACITY = 2048
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of structured events.
+
+    Events are plain dicts ``{"seq", "kind", "t_unix_s", "t_mono_ns",
+    "data"}``; ``seq`` is a monotonically increasing global index, so
+    consumers can tell how many early events the ring dropped.
+    ``flush`` is exactly-once per (path, content): re-flushing the same
+    events to the same path is a no-op, which lets both the abort path
+    (``ResilientExecutor``) and the CLI's final cleanup call it without
+    producing duplicate or truncated dump files.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 dump_path: Optional[str] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dump_path = dump_path
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._flushed_seq = -1
+        self._flushed_path: Optional[str] = None
+
+    # -- recording -----------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; oldest events fall off a full ring."""
+        with self._lock:
+            self._events.append({
+                "seq": self._seq,
+                "kind": kind,
+                "t_unix_s": time.time(),
+                "t_mono_ns": time.monotonic_ns(),
+                "data": fields,
+            })
+            self._seq += 1
+
+    # -- inspection ----------------------------------------------------
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        """The retained events, oldest first, optionally one kind."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including ones the ring dropped)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._seq - len(self._events)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The dump payload: schema, ring stats, and retained events."""
+        with self._lock:
+            return {
+                "schema": FLIGHT_SCHEMA,
+                "capacity": self.capacity,
+                "recorded": self._seq,
+                "dropped": self._seq - len(self._events),
+                "events": list(self._events),
+            }
+
+    # -- persistence ---------------------------------------------------
+    def flush(self, path: Optional[str] = None) -> Optional[str]:
+        """Write the snapshot to ``path`` (default: ``dump_path``).
+
+        Exactly-once: with no destination, or when nothing was recorded
+        since the last flush to the same path, this is a no-op (returns
+        None).  New events after a flush re-arm it, so a recorder
+        flushed on abort and again at process exit writes once unless
+        the exit path itself recorded more.
+        """
+        with self._lock:
+            target = path if path is not None else self.dump_path
+            if target is None:
+                return None
+            last_seq = self._seq - 1
+            if (target == self._flushed_path
+                    and last_seq <= self._flushed_seq):
+                return None
+            payload = self.snapshot()
+            self._flushed_seq = last_seq
+            self._flushed_path = target
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        return target
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._flushed_seq = -1
+            self._flushed_path = None
+
+
+class NullFlightRecorder:
+    """No-op stand-in active by default; records and flushes nothing."""
+
+    enabled = False
+    capacity = 0
+    dump_path = None
+    recorded = 0
+    dropped = 0
+
+    def record(self, kind: str, **fields) -> None:
+        return None
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"schema": FLIGHT_SCHEMA, "capacity": 0, "recorded": 0,
+                "dropped": 0, "events": []}
+
+    def flush(self, path: Optional[str] = None) -> Optional[str]:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+#: Shared inert recorder installed by default.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()
+
+_active: object = NULL_FLIGHT_RECORDER
+_active_lock = threading.Lock()
+
+
+def get_flight_recorder():
+    """The process-wide active flight recorder (null by default)."""
+    return _active
+
+
+def set_flight_recorder(recorder: Optional[object]):
+    """Install ``recorder`` (None → null) and return the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = recorder if recorder is not None \
+            else NULL_FLIGHT_RECORDER
+    return previous
+
+
+@contextmanager
+def use_flight_recorder(recorder: Optional[object]) -> Iterator[object]:
+    """Scoped :func:`set_flight_recorder`, restoring on exit."""
+    previous = set_flight_recorder(recorder)
+    try:
+        yield get_flight_recorder()
+    finally:
+        set_flight_recorder(previous)

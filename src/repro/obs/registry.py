@@ -25,13 +25,34 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Counter", "CostMeter", "Gauge", "Timer", "MetricsRegistry",
     "NullRegistry", "NULL_REGISTRY", "get_registry", "set_registry",
-    "use_registry",
+    "use_registry", "labeled_metric", "split_metric_label",
 ]
+
+
+def labeled_metric(name: str, label: str) -> str:
+    """The registry name of ``name`` tagged with ``label``.
+
+    Labels use the ``name{k=v,...}`` convention (e.g.
+    ``magus.engine.evaluations{pid=4242,worker=1}``), so labeled
+    entries keep their base prefix — prefix-scanning consumers such as
+    :meth:`~repro.obs.report.RunReport.resilience_metrics` see them
+    automatically.
+    """
+    return f"{name}{{{label}}}"
+
+
+def split_metric_label(name: str) -> "Tuple[str, Optional[str]]":
+    """Split a registry name into ``(base, label)``; label may be None."""
+    if name.endswith("}"):
+        brace = name.find("{")
+        if brace > 0:
+            return name[:brace], name[brace + 1:-1]
+    return name, None
 
 
 class Counter:
@@ -59,6 +80,14 @@ class Counter:
 
     def snapshot(self) -> Dict[str, int]:
         return {"type": "counter", "value": self._value}
+
+    def state(self) -> Dict[str, object]:
+        """Full transportable state (for cross-process merging)."""
+        return {"type": "counter", "value": self._value}
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another counter's captured state in (values sum)."""
+        self._value += int(state.get("value") or 0)
 
 
 class CostMeter:
@@ -110,6 +139,32 @@ class Gauge:
         return {"type": "gauge", "value": self._value, "min": self._min,
                 "max": self._max, "updates": self._updates}
 
+    def state(self) -> Dict[str, object]:
+        """Full transportable state (for cross-process merging)."""
+        return self.snapshot()
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another gauge's captured state in.
+
+        The incoming value wins (set-to-latest semantics); min/max and
+        the update count fold exactly.
+        """
+        updates = int(state.get("updates") or 0)
+        if not updates:
+            return
+        self._updates += updates
+        value = state.get("value")
+        if value is not None:
+            self._value = float(value)
+        for incoming in (state.get("min"), state.get("max")):
+            if incoming is None:
+                continue
+            incoming = float(incoming)
+            if self._min is None or incoming < self._min:
+                self._min = incoming
+            if self._max is None or incoming > self._max:
+                self._max = incoming
+
 
 class _TimerHandle:
     """One in-flight timing; returned by :meth:`Timer.time`."""
@@ -155,6 +210,11 @@ class Timer:
             self.min_ns = duration_ns
         if self.max_ns is None or duration_ns > self.max_ns:
             self.max_ns = duration_ns
+        self._ring_push(duration_ns)
+
+    def _ring_push(self, duration_ns: int) -> None:
+        if self._ring_size <= 0:
+            return
         if len(self._ring) < self._ring_size:
             self._ring.append(duration_ns)
         else:                                   # overwrite oldest
@@ -191,6 +251,40 @@ class Timer:
             "p99_ns": self.percentile_ns(99.0),
         }
 
+    def state(self) -> Dict[str, object]:
+        """Full transportable state, ring included (for merging)."""
+        return {
+            "type": "timer",
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_ns": self.min_ns,
+            "max_ns": self.max_ns,
+            "ring": list(self._ring),
+            "ring_size": self._ring_size,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold another timer's captured state in.
+
+        Count/total/min/max fold exactly; the incoming ring samples are
+        pushed through the bounded ring, so the merged ring never
+        exceeds ``ring_size`` — merged percentiles are computed over a
+        (recency-biased) sample of the union, within ring-size bounds.
+        """
+        self.count += int(state.get("count") or 0)
+        self.total_ns += int(state.get("total_ns") or 0)
+        for attr in ("min_ns", "max_ns"):
+            incoming = state.get(attr)
+            if incoming is None:
+                continue
+            mine = getattr(self, attr)
+            if (mine is None
+                    or (attr == "min_ns" and incoming < mine)
+                    or (attr == "max_ns" and incoming > mine)):
+                setattr(self, attr, int(incoming))
+        for sample in state.get("ring") or ():
+            self._ring_push(int(sample))
+
 
 # ----------------------------------------------------------------------
 class MetricsRegistry:
@@ -198,7 +292,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
-        self._lock = threading.Lock()
+        # Re-entrant: merge_capture holds the lock while calling the
+        # accessors (counter/gauge/timer), which lock again.
+        self._lock = threading.RLock()
 
     def _get(self, name: str, cls):
         metric = self._metrics.get(name)
@@ -238,6 +334,44 @@ class MetricsRegistry:
         """All metrics as ``{name: {type, ...stats}}`` (JSON-safe)."""
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
+
+    # -- cross-process merging -----------------------------------------
+    def capture(self) -> Dict[str, Dict[str, object]]:
+        """Transportable full state of every metric (rings included).
+
+        Unlike :meth:`snapshot` — a reporting artifact with derived
+        percentiles — a capture preserves everything
+        :meth:`merge_capture` needs to fold the metrics into another
+        registry exactly: raw timer rings, gauge update counts.  The
+        payload is plain dicts/lists/ints, safe to pickle across a
+        process boundary.
+        """
+        with self._lock:
+            return {name: metric.state()
+                    for name, metric in self._metrics.items()}
+
+    def merge_capture(self, capture: Dict[str, Dict[str, object]],
+                      label: Optional[str] = None) -> None:
+        """Fold a :meth:`capture` from another registry into this one.
+
+        Counters sum, timers fold (ring-bounded), gauges keep
+        set-to-latest semantics with exact min/max/updates folding —
+        so merging N worker captures is order-independent and
+        sum-exact for counters.  With ``label``, every metric lands
+        under :func:`labeled_metric` (e.g. ``...{pid=7,worker=1}``)
+        instead of the bare name; successive captures from the same
+        worker accumulate into the same labeled entry.  Thread-safe:
+        the whole merge happens under the registry lock.
+        """
+        kinds = {"counter": self.counter, "gauge": self.gauge,
+                 "timer": self.timer}
+        with self._lock:
+            for name, state in capture.items():
+                accessor = kinds.get(str(state.get("type")))
+                if accessor is None:
+                    continue
+                target = labeled_metric(name, label) if label else name
+                accessor(target).merge_state(state)
 
 
 class _NullCounter(Counter):
@@ -307,6 +441,13 @@ class NullRegistry(MetricsRegistry):
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {}
+
+    def capture(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def merge_capture(self, capture: Dict[str, Dict[str, object]],
+                      label: Optional[str] = None) -> None:
+        return None   # never mutate the shared no-op singletons
 
 
 #: Process-wide shared no-op registry (the default active registry).

@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .registry import MetricsRegistry, get_registry
+from .registry import MetricsRegistry, get_registry, split_metric_label
 from .tracer import SPAN_TIMER_PREFIX, Tracer
 
 __all__ = ["RunReport", "SCHEMA"]
@@ -194,6 +194,21 @@ class RunReport:
             width = max(len(name) for name in delta)
             for name, value in delta.items():
                 lines.append(f"  {name:<{width}}  {value}")
+        parallel = self.parallel_metrics()
+        workers = self.worker_utilization()
+        if parallel or workers:
+            lines.append("parallel:")
+            if parallel:
+                width = max(len(name) for name in parallel)
+                for name, value in parallel.items():
+                    lines.append(f"  {name:<{width}}  {value}")
+            for row in workers:
+                lines.append(
+                    f"  worker {row['worker']} (pid {row['pid']}): "
+                    f"{row['chunks']} chunks, "
+                    f"{row['busy_s']:.3f} s busy "
+                    f"({row['busy_share'] * 100.0:.1f}%), "
+                    f"{row['evaluations']} evaluations")
         return "\n".join(lines)
 
     def delta_metrics(self) -> Dict[str, object]:
@@ -212,6 +227,61 @@ class RunReport:
             if stats is not None:
                 out[name] = stats.get("value")
         return out
+
+    def parallel_metrics(self) -> Dict[str, object]:
+        """Unlabeled pool and sweep-throughput values, if a pool ran.
+
+        Covers the parent-side ``magus.parallel.*`` aggregates and the
+        live ``magus.sweep.*`` throughput gauges; per-worker labeled
+        entries are rendered separately by :meth:`worker_utilization`.
+        """
+        out: Dict[str, object] = {}
+        for name, stats in self.metrics.items():
+            base, label = split_metric_label(name)
+            if label is not None:
+                continue
+            if base.startswith(("magus.parallel.", "magus.sweep.")):
+                out[name] = stats.get("value")
+        return out
+
+    def worker_utilization(self) -> List[Dict[str, object]]:
+        """Per-worker rows from the labeled cross-process merge.
+
+        Each row aggregates one worker process's labeled metrics
+        (``magus.parallel.chunks{pid=…,worker=…}`` etc.) into chunk
+        count, busy wall time, busy share of the pool total, and
+        engine evaluations — the data behind the report's
+        "parallel:" section that makes pool imbalance visible.
+        """
+        per_worker: Dict[str, Dict[str, object]] = {}
+        for name, stats in self.metrics.items():
+            base, label = split_metric_label(name)
+            if label is None:
+                continue
+            tags = dict(part.split("=", 1)
+                        for part in label.split(",") if "=" in part)
+            if "pid" not in tags:
+                continue
+            row = per_worker.setdefault(label, {
+                "pid": int(tags["pid"]),
+                "worker": int(tags.get("worker") or 0),
+                "chunks": 0, "busy_ns": 0, "evaluations": 0,
+            })
+            value = stats.get("value") or 0
+            if base == "magus.parallel.chunks":
+                row["chunks"] = int(value)
+            elif base == "magus.parallel.worker_busy_ns":
+                row["busy_ns"] = int(value)
+            elif base == "magus.engine.evaluations":
+                row["evaluations"] = int(value)
+        rows = sorted(per_worker.values(),
+                      key=lambda r: (r["worker"], r["pid"]))
+        total_busy = sum(r["busy_ns"] for r in rows)
+        for row in rows:
+            row["busy_s"] = row["busy_ns"] / 1e9
+            row["busy_share"] = (row["busy_ns"] / total_busy
+                                 if total_busy else 0.0)
+        return rows
 
     def resilience_metrics(self) -> Dict[str, object]:
         """Fault/retry/degradation counters, if any were recorded.

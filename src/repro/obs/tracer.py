@@ -164,7 +164,43 @@ class Tracer:
             finished, self._finished = self._finished, []
         return finished
 
+    def peek(self) -> List[Span]:
+        """The finished root spans collected so far, without draining.
+
+        Lets one run feed several consumers — e.g. the Chrome-trace
+        exporter reads the spans non-destructively before
+        :class:`~repro.obs.report.RunReport` drains them.
+        """
+        with self._lock:
+            return list(self._finished)
+
+    def adopt(self, span: Span) -> None:
+        """Retain a finished span produced elsewhere (another process).
+
+        This is how worker-process spans join the parent's trace: the
+        evaluation service reconstructs each worker's completed spans
+        from its chunk telemetry and adopts them here, pid/worker
+        tagged, so trace exports cover every process.  No-op while
+        tracing is disabled (mirroring :meth:`span` retention).
+        """
+        if not self._enabled:
+            return
+        with self._lock:
+            self._finished.append(span)
+
     def clear(self) -> None:
+        self.drain()
+
+    def reset(self) -> None:
+        """Drop finished spans *and* every open-span stack.
+
+        Fork hygiene: a forked worker inherits the parent's thread-local
+        stack — including whatever spans were open at fork time (e.g.
+        ``magus.tuning`` mid-search).  Without a reset, the worker's own
+        finished spans would attach as children of those phantom open
+        spans and never reach :meth:`drain`.
+        """
+        self._local = threading.local()
         self.drain()
 
     # -- internals -----------------------------------------------------

@@ -25,10 +25,15 @@ worker cannot fork grandchildren), a missing ``fork`` start method or
 a stale path-loss epoch all route back to the serial path, so results
 never depend on where they were computed.
 
-Instrumentation lands under ``magus.parallel.*``:
-``tasks`` (chunks dispatched), ``steals`` (chunks absorbed by workers
-beyond their even share), ``worker_busy_ns`` (summed in-worker compute
-time) and ``shm_bytes`` (bytes currently exported to shared memory).
+Instrumentation lands under ``magus.parallel.*``: the ``tasks``
+(chunks dispatched), ``steals`` (chunks absorbed by workers beyond
+their even share), ``worker_busy_ns`` (summed in-worker compute time)
+and ``shm_{allocated,released}_bytes`` counters, plus the
+``shm_bytes`` gauge (bytes currently resident in shared memory —
+back to zero after ``close()``).  Each chunk result additionally
+carries a :class:`~repro.obs.telemetry.WorkerTelemetry` payload that
+the service merges into the parent registry under a
+``pid=…,worker=…`` label (see :mod:`repro.obs.telemetry`).
 """
 
 from .service import (DEFAULT_MIN_PARALLEL_BATCH, EvaluationService,

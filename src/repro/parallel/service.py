@@ -41,7 +41,8 @@ import numpy as np
 
 from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration
-from ..obs import get_logger, get_registry
+from ..obs import get_flight_recorder, get_logger, get_registry
+from ..obs.telemetry import WorkerTelemetry, merge_worker_telemetry
 from . import worker as _worker
 from .shm import SharedPlaneStore
 
@@ -198,8 +199,12 @@ class EvaluationService:
         k = len(configs)
         if k == 0:
             return []
-        if (not self.usable() or k < self.min_parallel_batch
-                or incumbent.epoch != self.engine.pathloss.cache_epoch):
+        if not self.usable() or k < self.min_parallel_batch:
+            return None
+        if incumbent.epoch != self.engine.pathloss.cache_epoch:
+            get_flight_recorder().record(
+                "pool_fallback", reason="stale_incumbent_epoch",
+                candidates=k)
             return None
         moves = self._encode_moves(incumbent, configs)
         if moves is None:
@@ -220,8 +225,11 @@ class EvaluationService:
         if results is None:
             return None
         ordered: List[Optional[List[float]]] = [None] * len(tasks)
-        for chunk_index, utilities, _pid, _busy in results:
+        for chunk_index, utilities, _telemetry in results:
             if utilities is None:
+                get_flight_recorder().record(
+                    "pool_fallback", reason="worker_refused_chunk",
+                    chunk=chunk_index, candidates=k)
                 return None
             ordered[chunk_index] = utilities
         scores: List[float] = []
@@ -265,11 +273,15 @@ class EvaluationService:
     # generic fan-out (scenario sweeps ride the same pool)
     # ------------------------------------------------------------------
     def run_tasks(self, fn: Callable, items: Sequence,
-                  timeout_s: Optional[float] = None) -> Optional[list]:
+                  timeout_s: Optional[float] = None,
+                  progress: Optional[Callable[[int], None]] = None
+                  ) -> Optional[list]:
         """Run ``fn(item)`` for every item on the pool, results ordered.
 
-        Returns ``None`` when the pool is unusable or a worker failed —
-        callers run the loop serially instead.
+        ``progress`` (if given) is called with the completed-item count
+        after each result lands — sweeps use it to publish live
+        throughput gauges.  Returns ``None`` when the pool is unusable
+        or a worker failed — callers run the loop serially instead.
         """
         if not items:
             return []
@@ -278,10 +290,13 @@ class EvaluationService:
         self._ensure_pool()
         if self._pool is None:
             return None
-        return self._dispatch(fn, items, timeout_s=timeout_s)
+        return self._dispatch(fn, items, timeout_s=timeout_s,
+                              progress=progress)
 
     def _dispatch(self, fn: Callable, items: Sequence,
-                  timeout_s: Optional[float] = None) -> Optional[list]:
+                  timeout_s: Optional[float] = None,
+                  progress: Optional[Callable[[int], None]] = None
+                  ) -> Optional[list]:
         registry = get_registry()
         pending = [self._pool.apply_async(fn, (item,)) for item in items]
         registry.counter("magus.parallel.tasks").inc(len(pending))
@@ -290,32 +305,46 @@ class EvaluationService:
             for handle in pending:
                 results.append(handle.get(
                     timeout=timeout_s or _RESULT_TIMEOUT_S))
+                if progress is not None:
+                    progress(len(results))
         except Exception as exc:   # worker died / timed out / raised
             _LOG.warning("parallel dispatch failed (%s: %s); falling "
                          "back to the serial path",
                          type(exc).__name__, exc)
+            get_flight_recorder().record(
+                "pool_fallback", reason="dispatch_failed",
+                error=f"{type(exc).__name__}: {exc}",
+                completed=len(results), submitted=len(pending))
             self._shutdown_pool()
             return None
-        self._account_steals(results, registry)
+        self._merge_telemetry(results, registry)
         return results
 
-    def _account_steals(self, results: list, registry) -> None:
-        """Work-stealing accounting from per-chunk worker attribution.
+    def _merge_telemetry(self, results: list, registry) -> None:
+        """Fold per-chunk worker telemetry into the parent registry.
 
-        With ``chunks_per_worker`` chunks on the shared queue, an even
+        Every score-chunk result carries a :class:`WorkerTelemetry`
+        (the worker's capture-and-reset registry delta plus completed
+        spans).  Each payload merges pid/worker-labeled — that is the
+        per-worker breakdown the run report renders — while the
+        parent-side unlabeled aggregates (total busy time, steals)
+        derive from the same payloads.  Steal accounting: with
+        ``chunks_per_worker`` chunks on the shared queue, an even
         world gives every worker ``ceil(tasks / workers)``; anything a
         worker ran beyond that share it stole from a slower sibling.
         """
+        payloads = [result[2] for result in results
+                    if (isinstance(result, tuple) and len(result) == 3
+                        and isinstance(result[2], WorkerTelemetry))]
+        if not payloads:
+            return
         per_pid: dict = {}
         busy_total = 0
-        for result in results:
-            if (isinstance(result, tuple) and len(result) == 4
-                    and isinstance(result[2], int)):
-                per_pid[result[2]] = per_pid.get(result[2], 0) + 1
-                busy_total += result[3]
-        if not per_pid:
-            return
-        fair = math.ceil(sum(per_pid.values()) / self.workers)
+        for payload in payloads:
+            per_pid[payload.pid] = per_pid.get(payload.pid, 0) + 1
+            busy_total += payload.busy_ns
+            merge_worker_telemetry(payload, registry=registry)
+        fair = math.ceil(len(payloads) / self.workers)
         steals = sum(max(0, count - fair) for count in per_pid.values())
         if steals:
             registry.counter("magus.parallel.steals").inc(steals)

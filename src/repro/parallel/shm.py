@@ -164,7 +164,10 @@ class SharedPlaneStore:
                 shape=tuple(arr.shape), dtype=arr.dtype.str)
         self._blocks[key] = (block, handles)
         self._bytes += block.size
-        get_registry().counter("magus.parallel.shm_bytes").inc(block.size)
+        registry = get_registry()
+        registry.counter("magus.parallel.shm_allocated_bytes").inc(
+            block.size)
+        registry.gauge("magus.parallel.shm_bytes").set(self._bytes)
         while len(self._blocks) > self.capacity:
             _, (old, _handles) = self._blocks.popitem(last=False)
             self._release(old)
@@ -173,6 +176,10 @@ class SharedPlaneStore:
     # ------------------------------------------------------------------
     def _release(self, block: shared_memory.SharedMemory) -> None:
         self._bytes -= block.size
+        registry = get_registry()
+        registry.counter("magus.parallel.shm_released_bytes").inc(
+            block.size)
+        registry.gauge("magus.parallel.shm_bytes").set(self._bytes)
         try:
             block.close()
             block.unlink()

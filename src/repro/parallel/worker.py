@@ -20,16 +20,18 @@ with :mod:`repro.parallel.service`:
 
 from __future__ import annotations
 
-import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration, SectorSetting
+from ..obs import get_registry, trace
+from ..obs.telemetry import (WorkerTelemetry, drain_worker_telemetry,
+                             reset_worker_observability)
 from .shm import SharedArrayHandle, attach_array, attach_block
 
 __all__ = ["ScoreTask", "WorkerState"]
@@ -73,11 +75,14 @@ def _init_worker(payload: Optional[WorkerState] = None) -> None:
 
     ``payload`` is ``None`` under ``fork`` (the state is inherited via
     :data:`_FORK_STATE`) and the pickled :class:`WorkerState` under
-    ``spawn``.
+    ``spawn``.  The fork also inherits the parent's *populated*
+    registry and finished spans; reset both so the telemetry each
+    chunk ships home is a clean worker-local delta.
     """
     global _STATE
     _STATE = payload if payload is not None else _FORK_STATE
     _INCUMBENTS.clear()
+    reset_worker_observability()
 
 
 def _attach_incumbent(task: ScoreTask) -> DeltaIncumbent:
@@ -108,34 +113,44 @@ def _attach_incumbent(task: ScoreTask) -> DeltaIncumbent:
 
 
 def _score_chunk(task: ScoreTask
-                 ) -> Tuple[int, Optional[List[float]], int, int]:
-    """Score one candidate chunk; returns ``(index, utilities, pid, ns)``.
+                 ) -> Tuple[int, Optional[list], WorkerTelemetry]:
+    """Score one candidate chunk.
 
-    ``utilities`` is ``None`` when the engine refused the batch (e.g.
-    a move that is not a single-sector change arrived anyway); the
-    parent then rescores the whole request serially.
+    Returns ``(index, utilities, telemetry)``: ``utilities`` is
+    ``None`` when the engine refused the batch (e.g. a move that is
+    not a single-sector change arrived anyway — the parent then
+    rescores the whole request serially), and ``telemetry`` is this
+    chunk's :class:`WorkerTelemetry` — the worker registry's
+    capture-and-reset delta plus any completed spans — which the
+    parent merges pid/worker-labeled.
     """
     t0 = time.perf_counter_ns()
     state = _STATE
-    incumbent = _attach_incumbent(task)
-    base = list(task.config.settings)
-    configs = []
-    for sector_id, setting in task.moves:
-        settings = list(base)
-        settings[sector_id] = setting
-        configs.append(Configuration(tuple(settings)))
-    batch = state.engine.evaluate_batch(incumbent, configs,
-                                        state.ue_density)
-    if batch is None:
-        return task.chunk_index, None, os.getpid(), \
-            time.perf_counter_ns() - t0
-    # Identical reduction to Evaluator._batch_utilities: each
-    # candidate's utility is summed over its own raster only, so
-    # chunk boundaries cannot perturb the result.
-    values = state.utility.per_ue(batch.rate_bps) * state.ue_density
-    utilities = values.reshape(values.shape[0], -1).sum(axis=1)
-    return (task.chunk_index, [float(u) for u in utilities],
-            os.getpid(), time.perf_counter_ns() - t0)
+    utilities = None
+    with trace.span("magus.parallel.score_chunk",
+                    chunk=task.chunk_index, candidates=len(task.moves)):
+        incumbent = _attach_incumbent(task)
+        base = list(task.config.settings)
+        configs = []
+        for sector_id, setting in task.moves:
+            settings = list(base)
+            settings[sector_id] = setting
+            configs.append(Configuration(tuple(settings)))
+        batch = state.engine.evaluate_batch(incumbent, configs,
+                                            state.ue_density)
+        if batch is not None:
+            # Identical reduction to Evaluator._batch_utilities: each
+            # candidate's utility is summed over its own raster only,
+            # so chunk boundaries cannot perturb the result.
+            values = (state.utility.per_ue(batch.rate_bps)
+                      * state.ue_density)
+            sums = values.reshape(values.shape[0], -1).sum(axis=1)
+            utilities = [float(u) for u in sums]
+    busy_ns = time.perf_counter_ns() - t0
+    registry = get_registry()
+    registry.counter("magus.parallel.chunks").inc()
+    registry.counter("magus.parallel.worker_busy_ns").inc(busy_ns)
+    return task.chunk_index, utilities, drain_worker_telemetry(busy_ns)
 
 
 def _run_sweep_item(index: int):

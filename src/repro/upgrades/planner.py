@@ -11,6 +11,7 @@ evaluation sections report on.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -21,7 +22,7 @@ from ..core.search import PowerSearchSettings
 from ..core.tilt import TiltSearchSettings
 from ..core.utility import UtilityFunction
 from ..handover.migration import MigrationStats, reduction_factor
-from ..obs import get_logger, trace
+from ..obs import get_flight_recorder, get_logger, get_registry, trace
 from ..synthetic.market import StudyArea
 from .scenario import UpgradeScenario, select_targets
 
@@ -125,9 +126,12 @@ class UpgradePlanner:
         from ..parallel import worker as _worker
         scenarios = list(scenarios)
         kwargs = dict(mitigate_kwargs)
-        n_workers = min(resolve_workers(workers), max(len(scenarios), 1))
+        total = len(scenarios)
+        t0 = time.monotonic()
+        progress = _SweepProgress(total, t0)
+        n_workers = min(resolve_workers(workers), max(total, 1))
         can_fork = "fork" in multiprocessing.get_all_start_methods()
-        if len(scenarios) >= 2 and n_workers >= 2 and can_fork:
+        if total >= 2 and n_workers >= 2 and can_fork:
             # The sweep payload must exist before the fork so children
             # inherit it; it never travels through pickle.
             _worker._SWEEP_STATE = (self, tuple(scenarios), kwargs)
@@ -138,12 +142,43 @@ class UpgradePlanner:
                                        evaluator.utility,
                                        n_workers) as service:
                     results = service.run_tasks(
-                        _worker._run_sweep_item, range(len(scenarios)))
+                        _worker._run_sweep_item, range(total),
+                        progress=progress)
                 if results is not None:
                     return results
                 _LOG.warning("parallel sweep failed; rerunning the "
-                             "%d scenarios serially", len(scenarios))
+                             "%d scenarios serially", total)
             finally:
                 _worker._SWEEP_STATE = None
-        return [self.mitigate(scenario, **kwargs)
-                for scenario in scenarios]
+        outcomes = []
+        for scenario in scenarios:
+            outcomes.append(self.mitigate(scenario, **kwargs))
+            progress(len(outcomes))
+        return outcomes
+
+
+class _SweepProgress:
+    """Publishes live sweep-throughput gauges after each mitigation.
+
+    Called with the completed-scenario count from either the pool's
+    ordered result loop or the serial fallback loop;
+    ``magus.sweep.{scenarios_done,mitigations_per_hour,eta_s}`` let an
+    operator (or the future mitigation-as-a-service daemon) watch a
+    long sweep converge instead of staring at a silent process.
+    """
+
+    def __init__(self, total: int, t0: float) -> None:
+        self.total = total
+        self.t0 = t0
+
+    def __call__(self, done: int) -> None:
+        elapsed = max(time.monotonic() - self.t0, 1e-9)
+        per_hour = done * 3600.0 / elapsed
+        eta_s = (self.total - done) * elapsed / done if done else 0.0
+        registry = get_registry()
+        registry.gauge("magus.sweep.scenarios_done").set(done)
+        registry.gauge("magus.sweep.mitigations_per_hour").set(per_hour)
+        registry.gauge("magus.sweep.eta_s").set(eta_s)
+        get_flight_recorder().record(
+            "sweep_progress", done=done, total=self.total,
+            mitigations_per_hour=per_hour, eta_s=eta_s)

@@ -34,6 +34,18 @@ class TestParser:
         assert args.metrics_out is None
         assert not args.trace
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["mitigate", "--trace-out", "t.json",
+             "--flight-out", "f.json"])
+        assert args.trace_out == "t.json"
+        assert args.flight_out == "f.json"
+
+    def test_telemetry_flags_default_off(self):
+        args = build_parser().parse_args(["testbed"])
+        assert args.trace_out is None
+        assert args.flight_out is None
+
 
 class TestCommands:
     def test_calendar_command(self, capsys):
@@ -108,6 +120,161 @@ class TestCommands:
                    for p in data["phases"])
         assert data["metrics"]["magus.evaluator.model_evaluations"][
             "value"] >= data["total_model_evaluations"]
+
+
+class TestTelemetryCli:
+    def test_testbed_trace_out(self, capsys, tmp_path):
+        import json
+        from repro.obs.telemetry import validate_chrome_trace
+        path = tmp_path / "trace.json"
+        assert main(["testbed", "--scenario", "2",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"chrome trace written to {path}" in out
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        assert payload["otherData"]["schema"] == "magus.chrome-trace/1"
+        # Observability is torn down again after the run.
+        from repro.obs import NULL_REGISTRY, get_registry, trace
+        assert get_registry() is NULL_REGISTRY
+        assert not trace.enabled
+
+    @pytest.mark.slow
+    def test_mitigate_trace_out_covers_workers(self, capsys, monkeypatch,
+                                               tmp_path):
+        """Acceptance: ``mitigate --workers 2 --trace-out`` produces a
+        valid Chrome trace with at least one span per worker process,
+        and the run report carries the per-worker labeled counters."""
+        import json
+        import os
+        import repro.parallel as parallel_mod
+        from repro.obs.telemetry import validate_chrome_trace
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        # The small grid's candidate batches must actually fork.
+        real_service = parallel_mod.EvaluationService
+
+        def forked_early(engine, density, utility, workers=None, **kw):
+            kw["min_parallel_batch"] = 2
+            return real_service(engine, density, utility, workers, **kw)
+
+        monkeypatch.setattr(parallel_mod, "EvaluationService",
+                            forked_early)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "run.json"
+        assert main(["mitigate", "--tuning", "power", "--seed", "1",
+                     "--workers", "2", "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) > 0
+        parent = os.getpid()
+        worker_pids = {e["pid"] for e in payload["traceEvents"]
+                       if e["ph"] == "X" and e["pid"] != parent}
+        assert worker_pids, "no worker-process spans in the trace"
+        tracks = {e["pid"]: e["args"]["name"]
+                  for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert all("worker" in tracks[pid] for pid in worker_pids)
+        assert "parent" in tracks[parent]
+        report = json.loads(metrics_path.read_text())
+        labeled = [name for name in report["metrics"]
+                   if name.startswith("magus.engine.evaluations{")]
+        assert labeled, "no per-worker labeled evaluation counters"
+
+    @pytest.mark.slow
+    def test_abort_flushes_artifacts_exactly_once(self, capsys,
+                                                  monkeypatch, tmp_path):
+        """Exit code 3 still lands every requested artifact — run
+        report, Chrome trace, flight dump — exactly once each."""
+        import json
+        from repro import cli as cli_mod
+        from repro.faults import FaultPlan, PushFaults
+        from repro.obs import FLIGHT_SCHEMA, FlightRecorder, RunReport
+        from repro.obs.telemetry import validate_chrome_trace
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        writes = {"trace": 0, "report": 0, "flight": 0}
+        real_export = cli_mod.export_chrome_trace
+
+        def counting_export(path, **kwargs):
+            writes["trace"] += 1
+            return real_export(path, **kwargs)
+
+        real_write = RunReport.write
+
+        def counting_write(self, path):
+            writes["report"] += 1
+            return real_write(self, path)
+
+        real_flush = FlightRecorder.flush
+
+        def counting_flush(self, path=None):
+            target = real_flush(self, path)
+            if target is not None:       # only actual writes count
+                writes["flight"] += 1
+            return target
+
+        monkeypatch.setattr(cli_mod, "export_chrome_trace",
+                            counting_export)
+        monkeypatch.setattr(RunReport, "write", counting_write)
+        monkeypatch.setattr(FlightRecorder, "flush", counting_flush)
+
+        plan = tmp_path / "plan.json"
+        FaultPlan(seed=1, push=PushFaults(
+            fail_steps=tuple(range(1, 200)),
+            fail_attempts=99)).save(str(plan))
+        flight = tmp_path / "flight.json"
+        metrics = tmp_path / "run.json"
+        trace_path = tmp_path / "trace.json"
+        status = main(["mitigate", "--tuning", "power", "--seed", "1",
+                       "--faults", str(plan),
+                       "--flight-out", str(flight),
+                       "--metrics-out", str(metrics),
+                       "--trace-out", str(trace_path)])
+        assert status == 3
+        assert writes == {"trace": 1, "report": 1, "flight": 1}
+        dump = json.loads(flight.read_text())
+        assert dump["schema"] == FLIGHT_SCHEMA
+        kinds = [e["kind"] for e in dump["events"]]
+        assert "search_pass" in kinds
+        assert "fault_injected" in kinds
+        assert "rollout_fallback" in kinds
+        assert json.loads(metrics.read_text())["schema"] == \
+            "magus.run-report/1"
+        assert validate_chrome_trace(
+            json.loads(trace_path.read_text())) > 0
+
+    def test_sigpipe_flushes_artifacts_once(self, monkeypatch, tmp_path):
+        """A consumer closing the pipe early (SIGPIPE) exits 0 and
+        still flushes the metrics report and flight dump."""
+        import json
+        from repro import cli as cli_mod
+        from repro.obs import (FLIGHT_SCHEMA, get_flight_recorder,
+                               get_registry)
+
+        def broken_handler(args, sink):
+            get_registry().counter("magus.testbed.measurements").inc(3)
+            get_flight_recorder().record("sweep_progress", done=1)
+            raise BrokenPipeError("consumer closed the pipe")
+
+        monkeypatch.setattr(cli_mod, "_cmd_testbed", broken_handler)
+        # Keep pytest's captured stdout intact; the dup2 redirect is
+        # irrelevant to what this test asserts.
+        monkeypatch.setattr(cli_mod, "_silence_stdout", lambda: None)
+        metrics = tmp_path / "run.json"
+        flight = tmp_path / "flight.json"
+        assert main(["testbed", "--metrics-out", str(metrics),
+                     "--flight-out", str(flight)]) == 0
+        report = json.loads(metrics.read_text())
+        assert report["schema"] == "magus.run-report/1"
+        assert report["metrics"][
+            "magus.testbed.measurements"]["value"] == 3
+        dump = json.loads(flight.read_text())
+        assert dump["schema"] == FLIGHT_SCHEMA
+        assert [e["kind"] for e in dump["events"]] == ["sweep_progress"]
 
 
 class TestValidateCommand:

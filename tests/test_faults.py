@@ -353,6 +353,57 @@ class TestResilientExecutor:
             names = registry.names()
         assert not any(n.startswith("magus.faults.") for n in names)
 
+    def test_flight_recorder_dumped_on_abort(self, toy_evaluator,
+                                             toy_network, toy_schedule,
+                                             tmp_path):
+        """A fault-injected abort flushes the flight recorder: the dump
+        file exists, carries the schema, and tells the failure story
+        (injected faults, retries, the fallback) in order."""
+        from repro.obs import FLIGHT_SCHEMA, FlightRecorder, \
+            use_flight_recorder
+        dump = tmp_path / "flight.json"
+        plan = FaultPlan(push=PushFaults(fail_steps=(2,),
+                                         fail_attempts=99))
+        with use_flight_recorder(FlightRecorder(dump_path=str(dump))):
+            executor = ResilientExecutor(
+                toy_evaluator, network=toy_network,
+                injector=FaultInjector(plan),
+                policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+                sleep=lambda s: None)
+            result = executor.execute(toy_schedule)
+        assert not result.completed
+        assert dump.exists()
+        payload = json.loads(dump.read_text(encoding="utf-8"))
+        assert payload["schema"] == FLIGHT_SCHEMA
+        kinds = [e["kind"] for e in payload["events"]]
+        assert kinds[0] == "rollout_start"
+        assert "fault_injected" in kinds
+        assert "rollout_retry" in kinds
+        assert kinds[-1] == "rollout_fallback"
+        assert "rollout_complete" not in kinds
+        faults = [e["data"] for e in payload["events"]
+                  if e["kind"] == "fault_injected"]
+        assert all(f["fault"] == "push_failure" for f in faults)
+        fallback = payload["events"][-1]["data"]
+        assert fallback["reason"] == "push-exhausted"
+
+    def test_flight_recorder_silent_on_success(self, toy_evaluator,
+                                               toy_network, toy_schedule,
+                                               tmp_path):
+        """A clean rollout records events but never dumps a file of its
+        own accord (flush fires only on the abort path)."""
+        from repro.obs import FlightRecorder, use_flight_recorder
+        dump = tmp_path / "flight.json"
+        with use_flight_recorder(
+                FlightRecorder(dump_path=str(dump))) as recorder:
+            result = ResilientExecutor(
+                toy_evaluator, network=toy_network).execute(toy_schedule)
+            assert result.completed
+            kinds = [e["kind"] for e in recorder.events()]
+        assert kinds[0] == "rollout_start"
+        assert kinds[-1] == "rollout_complete"
+        assert not dump.exists()
+
 
 # ----------------------------------------------------------------------
 class TestCheckpointResume:

@@ -199,12 +199,21 @@ class TestEvaluationService:
                        (-2.0, -1.0, 1.0, 2.0))
         with self._service(toy_engine, toy_density) as service:
             assert service.score_batch(incumbent, many) is not None
+            resident = get_registry().gauge(
+                "magus.parallel.shm_bytes").value
+            assert resident and resident > 0
         reg = get_registry()
         assert reg.counter("magus.parallel.tasks").value > 0
-        assert reg.counter("magus.parallel.shm_bytes").value > 0
         assert reg.counter("magus.parallel.worker_busy_ns").value > 0
         assert reg.counter("magus.engine.batched_candidates").value \
             == len(many)
+        # S1: shm accounting balances — everything allocated was
+        # released on close and the resident gauge is back to zero.
+        allocated = reg.counter("magus.parallel.shm_allocated_bytes").value
+        released = reg.counter("magus.parallel.shm_released_bytes").value
+        assert allocated > 0
+        assert released == allocated
+        assert reg.gauge("magus.parallel.shm_bytes").value == 0
 
     def test_evaluator_close_shuts_pool(self, toy_network, toy_engine,
                                         toy_density):
