@@ -98,7 +98,32 @@ def build_parser() -> argparse.ArgumentParser:
     mitigate.add_argument("--checkpoint", metavar="RUN.ckpt", default=None,
                           help="checkpoint every accepted rollout step to "
                                "this file and resume from it if present")
+    mitigate.add_argument("--plossdb", metavar="FILE.plossdb", default=None,
+                          help="memory-map the packed path-loss database "
+                               "from this magus.plossdb file (building "
+                               "it first, streamed, if missing); switches "
+                               "evaluation to float32 planes")
     _add_obs_args(mitigate)
+
+    pack = sub.add_parser(
+        "pack", help="stream a packed path-loss database "
+                     "(magus.plossdb/1) to disk")
+    _add_area_args(pack)
+    pack.add_argument("--out", metavar="FILE.plossdb", required=True,
+                      help="output file; loadable with `mitigate "
+                           "--plossdb` (standard areas) or the library's "
+                           "load_packed()")
+    pack.add_argument("--tilt-model", choices=["exact", "shared-delta"],
+                      default="exact")
+    pack.add_argument("--grid-cells", type=int, default=None, metavar="N",
+                      help="paper-scale mode: build an NxN square market "
+                           "instead of the standard study area (e.g. 600)")
+    pack.add_argument("--cell-size", type=float, default=16.0, metavar="M",
+                      help="raster cell size in meters for --grid-cells "
+                           "mode (default 16)")
+    pack.add_argument("--tilts", type=int, default=None, metavar="K",
+                      help="pack only the highest K tilt settings of the "
+                           "ladder (--grid-cells mode; default: all)")
 
     testbed = sub.add_parser("testbed", help="run a Section-3 scenario")
     testbed.add_argument("--scenario", type=int, choices=[1, 2], default=1)
@@ -154,6 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "testbed": _cmd_testbed,
         "calendar": _cmd_calendar,
         "validate": _cmd_validate,
+        "pack": _cmd_pack,
     }[args.command]
 
     observing = bool(getattr(args, "metrics_out", None)
@@ -305,7 +331,12 @@ def _cmd_mitigate(args, sink: _ObsSink) -> int:
         # The area's own baseline evaluation is one full pass — no
         # batches to parallelize — so it always stays serial.
         area = build_area(AreaType(args.area_type), seed=args.seed,
-                          evaluation_strategy=strategy)
+                          evaluation_strategy=strategy,
+                          plossdb=args.plossdb)
+    if args.plossdb:
+        print(f"path-loss database memory-mapped from {args.plossdb} "
+              f"({area.pathloss.packed_store.nbytes / 1e6:.0f} MB packed, "
+              f"float32 planes)")
     if injector is not None and fault_plan.pathloss is not None:
         injector.corrupt_pathloss(area.engine.pathloss)
     scenario = UpgradeScenario.from_label(args.scenario)
@@ -432,6 +463,48 @@ def _cmd_calendar(args, sink: _ObsSink) -> int:
     print(f"Tue-Fri vs other days: x{tue_fri / others:.2f}")
     print(f"median duration: {stats['median_hours']:.1f} h "
           f"({stats['fraction_4_to_6h'] * 100:.0f}% in the 4-6 h band)")
+    return 0
+
+
+def _cmd_pack(args, sink: _ObsSink) -> int:
+    from .synthetic.market import build_packed_market, pack_area_database
+
+    def progress(done: int, total: int) -> None:
+        if done == total or done % 50 == 0:
+            print(f"  packed {done}/{total} sectors", file=sys.stderr)
+
+    if args.grid_cells:
+        from .synthetic.placement import PlacementParameters
+        params = PlacementParameters.for_area(AreaType(args.area_type))
+        tilt_values = None
+        if args.tilts is not None:
+            from .model.antenna import TiltRange
+            ladder = TiltRange(normal_deg=params.normal_tilt_deg,
+                               min_deg=0.0,
+                               max_deg=params.normal_tilt_deg + 4.0,
+                               step_deg=0.5).settings
+            if not 0 < args.tilts <= len(ladder):
+                print(f"--tilts must be in [1, {len(ladder)}]",
+                      file=sys.stderr)
+                return 2
+            tilt_values = list(ladder[-args.tilts:])
+        header = build_packed_market(
+            args.out, seed=args.seed, area_type=AreaType(args.area_type),
+            grid_cells=args.grid_cells, cell_size_m=args.cell_size,
+            tilt_values=tilt_values, tilt_model=args.tilt_model,
+            progress=progress)
+    else:
+        if args.tilts is not None:
+            print("--tilts requires --grid-cells (paper-scale mode)",
+                  file=sys.stderr)
+            return 2
+        header = pack_area_database(
+            args.out, AreaType(args.area_type), seed=args.seed,
+            tilt_model=args.tilt_model, progress=progress)
+    print(f"packed {header['n_sectors']} sectors x {header['n_tilts']} "
+          f"tilts x {header['grid_shape'][0]}x{header['grid_shape'][1]} "
+          f"grids -> {args.out} "
+          f"({header['file_bytes'] / 1e9:.2f} GB, {header['format']})")
     return 0
 
 

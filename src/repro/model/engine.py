@@ -83,13 +83,31 @@ class DeltaIncumbent:
                 runner_val = np.full(self.raw_serving.shape, -np.inf)
                 runner_idx = self.raw_serving.copy()
             else:
-                masked = self.planes.copy()
-                # Planes are >= 0 mW, so -1 can never be the argmax.
-                np.put_along_axis(masked, self.raw_serving[None], -1.0,
-                                  axis=0)
-                runner_idx = masked.argmax(axis=0).astype(np.int32)
-                runner_val = np.take_along_axis(
-                    self.planes, runner_idx[None], axis=0)[0]
+                # Streaming top-2 selection, one plane at a time:
+                # O(H*W) scratch instead of copying the whole stack
+                # (the copy is GBs for packed markets).  Pure selection
+                # of existing plane values with first-index tie-breaks,
+                # so the result is bitwise identical to masking the
+                # serving row out of a stack copy and taking argmax.
+                best = self.planes[0].copy()
+                best_idx = np.zeros(best.shape, dtype=np.int32)
+                runner_val = np.full(best.shape, -np.inf,
+                                     dtype=self.planes.dtype)
+                runner_idx = np.zeros(best.shape, dtype=np.int32)
+                for s in range(1, n_sectors):
+                    plane = self.planes[s]
+                    promote = plane > best
+                    # The demoted best becomes the runner-up...
+                    runner_val = np.where(promote, best, runner_val)
+                    runner_idx = np.where(promote, best_idx, runner_idx)
+                    # ...and a non-promoting plane may still beat it
+                    # (strict >: equal values keep the earlier index).
+                    challenge = ~promote & (plane > runner_val)
+                    runner_val = np.where(challenge, plane, runner_val)
+                    runner_idx = np.where(challenge, np.int32(s),
+                                          runner_idx)
+                    best = np.where(promote, plane, best)
+                    best_idx = np.where(promote, np.int32(s), best_idx)
             self._runner = (runner_val, runner_idx)
         return self._runner
 
@@ -396,7 +414,14 @@ class AnalysisEngine:
         """
         gains_mw = self.pathloss.gain_tensor_mw(config.tilts(),
                                                 config.azimuth_offsets())
-        return gains_mw * self._power_factors(config)[:, None, None]
+        # Factors are cast to the plane dtype *before* the multiply:
+        # under the packed float32 backend every path must perform the
+        # same f32*f32 elementwise product (NEP-50 would otherwise
+        # silently promote to float64 and break full/delta parity).
+        # For the float64 dict path the cast is a no-op.
+        factors = self._power_factors(config).astype(gains_mw.dtype,
+                                                     copy=False)
+        return gains_mw * factors[:, None, None]
 
     def _sector_plane_mw(self, config: Configuration,
                          sector_id: int) -> np.ndarray:
@@ -407,12 +432,16 @@ class AnalysisEngine:
         """
         setting = config.settings[sector_id]
         if not setting.active:
-            return np.zeros(self.grid.shape)
+            return np.zeros(self.grid.shape,
+                            dtype=self.pathloss.plane_dtype)
         gain_mw = self.pathloss.gain_matrix_mw(
             sector_id, setting.tilt_deg, setting.azimuth_offset_deg)
         # Index the vectorized factor computation rather than applying
-        # scalar ``**``: both paths must round identically.
-        return gain_mw * self._power_factors(config)[sector_id]
+        # scalar ``**``: both paths must round identically (cast to the
+        # plane dtype first, for the same parity reason as _planes_mw).
+        factors = self._power_factors(config).astype(gain_mw.dtype,
+                                                     copy=False)
+        return gain_mw * factors[sector_id]
 
     @staticmethod
     def _power_factors(config: Configuration) -> np.ndarray:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Literal, Optional, Sequence
+from typing import TYPE_CHECKING, Hashable, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -38,7 +38,11 @@ from .geometry import GridSpec
 from .network import CellularNetwork, Sector
 from .propagation import Environment, PropagationModel, SPMParameters, Transmitter
 
-__all__ = ["LRUCache", "PathLossDatabase", "TiltModelName"]
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .plossdb import PackedGainStore
+
+__all__ = ["LRUCache", "PathLossDatabase", "TiltModelName",
+           "compute_sector_raster", "exact_gain_db", "shared_tilt_profile"]
 
 TiltModelName = Literal["exact", "shared-delta"]
 
@@ -51,6 +55,12 @@ DEFAULT_SHADOWING_CORR_M = 150.0
 #: tilt ladder of one sector), so a small bound with true LRU eviction
 #: keeps every live assignment resident.
 DEFAULT_TENSOR_CACHE_SIZE = 8
+
+#: Bound for the shared-delta radial-profile cache: one profile per
+#: distinct target tilt.  Real tilt catalogues carry ~17 settings, so
+#: 64 keeps every plausible ladder resident while still bounding a
+#: pathological caller that sweeps continuous tilts.
+DEFAULT_PROFILE_CACHE_SIZE = 64
 
 
 class LRUCache:
@@ -152,7 +162,8 @@ class PathLossDatabase:
 
     def __init__(self, grid: GridSpec, network: CellularNetwork,
                  rasters: Sequence[_SectorRaster],
-                 tilt_model: TiltModelName = "exact") -> None:
+                 tilt_model: TiltModelName = "exact",
+                 validate: bool = True) -> None:
         if len(rasters) != network.n_sectors:
             raise ValueError("one raster per sector required")
         if tilt_model not in ("exact", "shared-delta"):
@@ -167,18 +178,30 @@ class PathLossDatabase:
         # single-sector tilt change rebuild one plane, not the stack.
         self._row_mw_cache = LRUCache(
             DEFAULT_TENSOR_CACHE_SIZE * max(network.n_sectors, 1))
-        self._shared_profiles: Dict[float, np.ndarray] = {}
+        self._shared_profiles = LRUCache(DEFAULT_PROFILE_CACHE_SIZE)
+        #: Optional packed tilt-major mW tensor (:mod:`repro.model.plossdb`).
+        #: When attached, on-ladder queries are index-and-view operations
+        #: and every plane this database emits is float32.
+        self._packed: Optional["PackedGainStore"] = None
+        #: dtype of every mW plane handed to the engine.  float64 for the
+        #: dict-backed path; float32 once a packed store is attached (and
+        #: it stays float32 after detach, so full/delta/batch paths keep
+        #: comparing like against like within one run).
+        self.plane_dtype: np.dtype = np.dtype(np.float64)
         #: Bumped on every invalidation; delta incumbents built against
         #: an older epoch are stale and must be re-prepared.
         self.cache_epoch = 0
-        self.validate()
+        if validate:
+            self.validate()
 
     def validate(self) -> None:
         """Reject NaN/inf raster data with an actionable error.
 
         Corrupt Atoll exports (the operational reality Section 4.2's
         clean-feed assumption hides) must fail here, naming the bad
-        sectors, instead of silently propagating NaN into SINR.
+        sectors, instead of silently propagating NaN into SINR.  With a
+        packed store attached the precomputed tensor is scanned too —
+        vectorized, one ``isfinite`` reduction per sector block.
         """
         bad = []
         for sid, raster in enumerate(self._rasters):
@@ -186,6 +209,9 @@ class PathLossDatabase:
                     and np.isfinite(raster.horiz_att_db).all()
                     and np.isfinite(raster.theta_deg).all()):
                 bad.append(sid)
+        if self._packed is not None:
+            bad.extend(b for b in self._packed.bad_sectors() if b not in bad)
+            bad.sort()
         if bad:
             raise ValueError(
                 f"path-loss database contains NaN/inf entries for "
@@ -193,12 +219,54 @@ class PathLossDatabase:
                 f"before evaluation")
 
     def invalidate_caches(self) -> None:
-        """Drop memoized tensors/profiles after in-place raster edits."""
+        """Drop memoized tensors/profiles after in-place raster edits.
+
+        A packed store is a *derived* artifact of the rasters, so it is
+        detached here too — after a raster edit (fault injection) the
+        precomputed planes are stale, and queries fall back to honest
+        recomputation from the edited rasters.  ``plane_dtype`` is kept
+        as-is so recomputed planes stay comparable with any incumbents
+        the caller re-prepares.
+        """
         self._tensor_cache.clear()
         self._tensor_mw_cache.clear()
         self._row_mw_cache.clear()
         self._shared_profiles.clear()
+        self._packed = None
         self.cache_epoch += 1
+
+    # ------------------------------------------------------------------
+    # packed storage
+    # ------------------------------------------------------------------
+    def attach_packed(self, store: "PackedGainStore") -> None:
+        """Adopt a packed tilt-major mW tensor as the primary backend.
+
+        All subsequent planes (including off-ladder fallbacks) are
+        float32, so the full/delta/parallel paths keep their bitwise
+        parity among themselves under the quantized storage.
+        """
+        S, _, H, W = store.shape
+        if S != self.network.n_sectors:
+            raise ValueError(
+                f"packed store carries {S} sectors; this network has "
+                f"{self.network.n_sectors}")
+        if (H, W) != self.grid.shape:
+            raise ValueError(
+                f"packed store grid {(H, W)} does not match analysis "
+                f"grid {self.grid.shape}")
+        self._tensor_mw_cache.clear()
+        self._row_mw_cache.clear()
+        self._packed = store
+        self.plane_dtype = np.dtype(np.float32)
+
+    @property
+    def packed_store(self) -> Optional["PackedGainStore"]:
+        return self._packed
+
+    @property
+    def is_file_backed(self) -> bool:
+        """True when gains live in a memory-mapped ``.plossdb`` file."""
+        return self._packed is not None and self._packed.is_file_backed
 
     # ------------------------------------------------------------------
     # construction
@@ -210,7 +278,9 @@ class PathLossDatabase:
                          shadowing_sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB,
                          shadowing_corr_m: float = DEFAULT_SHADOWING_CORR_M,
                          seed: int = 0,
-                         tilt_model: TiltModelName = "exact") -> "PathLossDatabase":
+                         tilt_model: TiltModelName = "exact",
+                         backend: Literal["dict", "packed"] = "dict"
+                         ) -> "PathLossDatabase":
         """Compute the database from terrain the way Atoll would.
 
         Each sector receives its own correlated shadowing field (keyed
@@ -218,38 +288,26 @@ class PathLossDatabase:
         field, so different sectors see *different* irregular fades at
         the same grid — exactly the property that defeats closed-form
         path-loss assumptions.
+
+        ``backend="packed"`` additionally precomputes the tilt-major
+        float32 mW tensor over the network's tilt ladder and attaches
+        it (:meth:`attach_packed`); the dict-of-rasters stays available
+        for off-ladder and azimuth-offset queries.
         """
+        if backend not in ("dict", "packed"):
+            raise ValueError(f"unknown path-loss backend {backend!r}")
         grid = environment.grid
         model = PropagationModel(environment, spm=spm)
         corr_cells = shadowing_corr_m / grid.cell_size
-        rasters = []
-        for sector in network.sectors:
-            tx = _transmitter_of(sector)
-            dist = grid.distances_from(sector.x, sector.y)
-            bearings = grid.bearings_from(sector.x, sector.y)
-            phi = bearings - sector.azimuth_deg
-            horiz = sector.antenna.horizontal_attenuation(phi)
-            # Depression angle toward each grid, terrain-aware.
-            tx_ground = _terrain_at(environment, sector.x, sector.y)
-            dz = (tx_ground + sector.height_m) - \
-                (environment.terrain_m + model.ue_height_m)
-            theta = np.degrees(np.arctan2(dz, np.maximum(dist, 1.0)))
-            # Non-antenna losses: SPM + clutter + diffraction + shadowing.
-            h_eff = np.maximum(
-                tx_ground + sector.height_m - environment.terrain_m, 1.0)
-            loss = model.spm.basic_loss_db(dist, h_eff, model.ue_height_m)
-            loss = loss + environment.clutter_loss_db()
-            loss = loss + model._diffraction_loss_db(tx)
-            if environment.shadowing_db is not None:
-                loss = loss + environment.shadowing_db
-            rng = np.random.default_rng(
-                np.random.SeedSequence([seed, sector.sector_id]))
-            loss = loss + correlated_gaussian_field(
-                grid.shape, corr_cells, shadowing_sigma_db, rng)
-            rasters.append(_SectorRaster(
-                horiz_att_db=horiz, theta_deg=theta,
-                loss_db=loss, distance_m=dist, bearing_deg=bearings))
-        return cls(grid, network, rasters, tilt_model=tilt_model)
+        rasters = [compute_sector_raster(sector, environment, model,
+                                         corr_cells, shadowing_sigma_db,
+                                         seed)
+                   for sector in network.sectors]
+        db = cls(grid, network, rasters, tilt_model=tilt_model)
+        if backend == "packed":
+            from .plossdb import pack_database
+            db.attach_packed(pack_database(db))
+        return db
 
     # ------------------------------------------------------------------
     # queries
@@ -310,6 +368,22 @@ class PathLossDatabase:
         mutate it.
         """
         tilts, offsets = self._check_assignment(tilts, azimuth_offsets)
+        if self._packed is not None and not offsets.any():
+            indices = self._packed.indices_for(tilts)
+            if indices is not None:
+                # Index-and-gather from the packed tensor.  In-memory
+                # stores still go through the LRU (power-only searches
+                # reuse the same stack many times); file-backed stores
+                # skip it — a cached 1000-sector gather would pin ~GBs
+                # of pages and defeat the RSS budget the mmap buys.
+                if self._packed.is_file_backed:
+                    return self._packed.gather(indices)
+                key = tilts.tobytes() + offsets.tobytes()
+                cached = self._tensor_mw_cache.get(key)
+                if cached is None:
+                    cached = self._packed.gather(indices)
+                    self._tensor_mw_cache.put(key, cached)
+                return cached
         key = tilts.tobytes() + offsets.tobytes()
         cached = self._tensor_mw_cache.get(key)
         if cached is None:
@@ -326,9 +400,15 @@ class PathLossDatabase:
 
         Cached per ``(sector, tilt, offset)`` triple — bitwise
         identical to the matching row of :meth:`gain_tensor_mw`
-        because both exponentiate the same :meth:`gain_matrix` output.
-        Read-only for the same sharing reason as the tensor.
+        because both exponentiate the same :meth:`gain_matrix` output
+        (and, with a packed store attached, both index the same stored
+        float32 row).  Read-only for the same sharing reason as the
+        tensor.
         """
+        if self._packed is not None and azimuth_offset_deg == 0.0:
+            idx = self._packed.index_of(tilt_deg)
+            if idx is not None:
+                return self._packed.row(sector_id, idx)
         key = (sector_id, float(tilt_deg), float(azimuth_offset_deg))
         cached = self._row_mw_cache.get(key)
         if cached is None:
@@ -340,6 +420,10 @@ class PathLossDatabase:
                     f"{sector_id}; the database was corrupted after "
                     f"construction — rebuild it or run validate()")
             cached = np.power(10.0, gain_db / 10.0)
+            # Off-ladder fallbacks quantize to the plane dtype so they
+            # remain bitwise-comparable with packed rows (float32 once
+            # a store is attached, float64 otherwise — a no-op there).
+            cached = cached.astype(self.plane_dtype, copy=False)
             cached.setflags(write=False)
             self._row_mw_cache.put(key, cached)
         return cached
@@ -377,16 +461,7 @@ class PathLossDatabase:
     def _exact_gain(self, sector: Sector, raster: _SectorRaster,
                     tilt_deg: float,
                     azimuth_offset_deg: float = 0.0) -> np.ndarray:
-        ant = sector.antenna
-        if azimuth_offset_deg == 0.0:
-            horiz = raster.horiz_att_db
-        else:
-            phi = raster.bearing_deg - (sector.azimuth_deg
-                                        + azimuth_offset_deg)
-            horiz = ant.horizontal_attenuation(phi)
-        vert = ant.vertical_attenuation(raster.theta_deg, tilt_deg)
-        att = np.minimum(horiz + vert, ant.front_back_db)
-        return ant.gain_dbi - att - raster.loss_db
+        return exact_gain_db(sector, raster, tilt_deg, azimuth_offset_deg)
 
     def _shared_delta(self, sector: Sector, raster: _SectorRaster,
                       tilt_deg: float) -> np.ndarray:
@@ -398,25 +473,78 @@ class PathLossDatabase:
         """
         profile = self._shared_profiles.get(tilt_deg)
         if profile is None:
-            profile = self._build_shared_profile(tilt_deg)
-            self._shared_profiles[tilt_deg] = profile
+            profile = shared_tilt_profile(self.network.sector(0), tilt_deg)
+            self._shared_profiles.put(tilt_deg, profile)
         idx = np.clip((raster.distance_m / _PROFILE_STEP_M).astype(int),
                       0, len(profile) - 1)
         return profile[idx]
 
-    def _build_shared_profile(self, tilt_deg: float) -> np.ndarray:
-        ref = self.network.sector(0)
-        distances = np.arange(len_profile := _PROFILE_BINS) * _PROFILE_STEP_M
-        distances = np.maximum(distances, 1.0)
-        theta = np.degrees(np.arctan2(ref.height_m - 1.5, distances))
-        ant = ref.antenna
-        before = ant.vertical_attenuation(theta, ref.planned_tilt_deg)
-        after = ant.vertical_attenuation(theta, tilt_deg)
-        return before - after
-
 
 _PROFILE_STEP_M = 50.0
 _PROFILE_BINS = 2400  # 120 km of radial profile — covers any raster
+
+
+# ----------------------------------------------------------------------
+# module-level building blocks, shared with the streaming packer
+# ----------------------------------------------------------------------
+def exact_gain_db(sector: Sector, raster: _SectorRaster, tilt_deg: float,
+                  azimuth_offset_deg: float = 0.0) -> np.ndarray:
+    """``L_b(tilt, g)`` (negative dB) for one precomputed sector raster."""
+    ant = sector.antenna
+    if azimuth_offset_deg == 0.0:
+        horiz = raster.horiz_att_db
+    else:
+        phi = raster.bearing_deg - (sector.azimuth_deg + azimuth_offset_deg)
+        horiz = ant.horizontal_attenuation(phi)
+    vert = ant.vertical_attenuation(raster.theta_deg, tilt_deg)
+    att = np.minimum(horiz + vert, ant.front_back_db)
+    return ant.gain_dbi - att - raster.loss_db
+
+
+def shared_tilt_profile(ref: Sector, tilt_deg: float) -> np.ndarray:
+    """Radial gain-change profile for the shared-delta tilt model."""
+    distances = np.arange(_PROFILE_BINS) * _PROFILE_STEP_M
+    distances = np.maximum(distances, 1.0)
+    theta = np.degrees(np.arctan2(ref.height_m - 1.5, distances))
+    ant = ref.antenna
+    before = ant.vertical_attenuation(theta, ref.planned_tilt_deg)
+    after = ant.vertical_attenuation(theta, tilt_deg)
+    return before - after
+
+
+def compute_sector_raster(sector: Sector, environment: Environment,
+                          model: PropagationModel, corr_cells: float,
+                          shadowing_sigma_db: float, seed: int
+                          ) -> _SectorRaster:
+    """One sector's geometry/loss rasters — the `from_environment` loop
+    body, factored out so the streaming market packer can compute one
+    sector at a time without holding the whole dict of rasters."""
+    grid = environment.grid
+    tx = _transmitter_of(sector)
+    dist = grid.distances_from(sector.x, sector.y)
+    bearings = grid.bearings_from(sector.x, sector.y)
+    phi = bearings - sector.azimuth_deg
+    horiz = sector.antenna.horizontal_attenuation(phi)
+    # Depression angle toward each grid, terrain-aware.
+    tx_ground = _terrain_at(environment, sector.x, sector.y)
+    dz = (tx_ground + sector.height_m) - \
+        (environment.terrain_m + model.ue_height_m)
+    theta = np.degrees(np.arctan2(dz, np.maximum(dist, 1.0)))
+    # Non-antenna losses: SPM + clutter + diffraction + shadowing.
+    h_eff = np.maximum(
+        tx_ground + sector.height_m - environment.terrain_m, 1.0)
+    loss = model.spm.basic_loss_db(dist, h_eff, model.ue_height_m)
+    loss = loss + environment.clutter_loss_db()
+    loss = loss + model._diffraction_loss_db(tx)
+    if environment.shadowing_db is not None:
+        loss = loss + environment.shadowing_db
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, sector.sector_id]))
+    loss = loss + correlated_gaussian_field(
+        grid.shape, corr_cells, shadowing_sigma_db, rng)
+    return _SectorRaster(horiz_att_db=horiz, theta_deg=theta,
+                         loss_db=loss, distance_m=dist,
+                         bearing_deg=bearings)
 
 
 def _transmitter_of(sector: Sector) -> Transmitter:

@@ -1,0 +1,607 @@
+"""Packed tilt-major path-loss storage (the ``magus.plossdb/1`` format).
+
+The paper evaluates whole markets: "one path-loss matrix (containing
+600 x 600 path loss values) per antenna tilt configuration" per sector,
+16 tilt settings, 1000+ sectors — ~23 GB of planes.  The dict-of-
+rasters inside :class:`~repro.model.pathloss.PathLossDatabase`
+re-exponentiates those planes through LRU caches on every query and
+cannot hold a market in RAM.  This module stores them *once*, packed:
+
+``PackedGainStore``
+    One contiguous float32 tensor of shape ``(n_sectors, n_tilts, H,
+    W)`` holding linear-domain (mW-canonical) gains ``10^(L/10)``,
+    tilt-major so a (sector, tilt) query is a pure index-and-view and
+    a whole-network assignment is one fancy-indexed gather.
+
+``magus.plossdb/1`` on-disk layout
+    ``16-byte magic`` (``magus.plossdb/1\\n``) · ``uint64-LE header
+    length`` · UTF-8 JSON header (grid, network, tilt ladder, section
+    table) · zero padding · raw sections, each aligned to 4096 bytes:
+    the gains tensor plus five float32 per-sector sidecar planes
+    (``horiz_att_db``, ``theta_deg``, ``loss_db``, ``distance_m``,
+    ``bearing_deg``) so a loaded database can still answer off-ladder
+    tilt and azimuth-offset queries through the exact fallback path.
+    Files are opened read-only with ``np.memmap``; pages are dropped
+    (``madvise(MADV_DONTNEED)``) after bulk gathers so a 23 GB market
+    evaluates within a laptop RSS budget.
+
+**Float32 parity contract**: gains are computed in float64 (the same
+``gain_matrix`` arithmetic as the dict path) and quantized *once* by
+the float64→float32 cast at pack time.  The off-ladder fallback applies
+the identical quantization (``astype(float32)`` of the same float64
+plane), so packed rows and fallback rows are bitwise equal, and the
+full/delta/batch/parallel evaluation paths — which all multiply these
+float32 planes by float32-cast power factors — stay bitwise identical
+to each other.
+
+The header is written *last*: an interrupted build leaves zeroed magic
+bytes, so partial files fail loudly at load instead of parsing as an
+all-zero market.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .antenna import AntennaPattern, TiltRange
+from .geometry import GridSpec, Region
+from .network import CellularNetwork, Sector
+from .pathloss import (DEFAULT_SHADOWING_CORR_M, DEFAULT_SHADOWING_SIGMA_DB,
+                       PathLossDatabase, TiltModelName, _PROFILE_STEP_M,
+                       _SectorRaster, compute_sector_raster, exact_gain_db,
+                       shared_tilt_profile)
+from .propagation import Environment, PropagationModel, SPMParameters
+
+__all__ = ["PackedGainStore", "PackedDatabaseWriter", "pack_database",
+           "save_packed", "load_packed", "stream_database", "read_header",
+           "FORMAT_NAME", "MAGIC"]
+
+FORMAT_NAME = "magus.plossdb/1"
+FORMAT_VERSION = 1
+MAGIC = b"magus.plossdb/1\n"          # exactly 16 bytes
+_ALIGN = 4096                          # section alignment (page size)
+_PREAMBLE = len(MAGIC) + 8             # magic + uint64-LE header length
+
+#: Sidecar raster planes persisted alongside the gains tensor, in
+#: section order.  Field names match ``_SectorRaster``.
+_SIDECARS = ("horiz_att_db", "theta_deg", "loss_db",
+             "distance_m", "bearing_deg")
+
+#: Per-block budget for the vectorized finite scan (``bad_sectors``):
+#: bounds transient RSS while keeping the reduction vectorized.
+_SCAN_BLOCK_BYTES = 256 * 1024 * 1024
+#: Mapped-page budget for file-backed gathers (see ``gather``): small
+#: enough that resident file pages never rival the gathered result,
+#: large enough that madvise round trips stay rare.
+_GATHER_BLOCK_BYTES = 128 * 1024 * 1024
+
+
+def _align_up(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class PackedGainStore:
+    """The packed tilt-major float32 mW tensor, in-memory or mmap.
+
+    ``gains_mw[s, t]`` is sector ``s``'s linear-domain gain plane at
+    the ladder tilt ``tilt_values[t]``.  Arrays are read-only; views
+    handed out by :meth:`row` share storage with the tensor.
+    """
+
+    def __init__(self, gains_mw: np.ndarray,
+                 tilt_values: Sequence[float],
+                 path: Optional[str] = None) -> None:
+        if gains_mw.ndim != 4:
+            raise ValueError("gains tensor must be (S, T, H, W)")
+        if gains_mw.dtype != np.float32:
+            raise ValueError("gains tensor must be float32")
+        if gains_mw.shape[1] != len(tilt_values):
+            raise ValueError("one tilt value per tensor column required")
+        self.gains_mw = gains_mw
+        self.tilt_values: Tuple[float, ...] = tuple(
+            float(t) for t in tilt_values)
+        # Exact-float lookup is intentional: ladder tilts are produced
+        # by the same `min + i*step` arithmetic on both sides, so they
+        # compare equal; anything else is off-ladder by definition and
+        # belongs to the exact fallback path.
+        self._tilt_index: Dict[float, int] = {
+            t: i for i, t in enumerate(self.tilt_values)}
+        self.path = os.fspath(path) if path is not None else None
+
+    # -- identity ------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return self.gains_mw.shape
+
+    @property
+    def n_sectors(self) -> int:
+        return self.gains_mw.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.gains_mw.size * self.gains_mw.itemsize
+
+    @property
+    def is_file_backed(self) -> bool:
+        return self.path is not None
+
+    # -- queries -------------------------------------------------------
+    def index_of(self, tilt_deg: float) -> Optional[int]:
+        return self._tilt_index.get(float(tilt_deg))
+
+    def indices_for(self, tilts: np.ndarray) -> Optional[np.ndarray]:
+        """Ladder indices for a whole assignment, or None if any tilt
+        is off-ladder (caller falls back to the exact path)."""
+        indices = np.empty(len(tilts), dtype=np.intp)
+        for s, t in enumerate(tilts):
+            idx = self._tilt_index.get(float(t))
+            if idx is None:
+                return None
+            indices[s] = idx
+        return indices
+
+    def row(self, sector_id: int, tilt_index: int) -> np.ndarray:
+        """One (sector, tilt) plane — a zero-copy read-only view."""
+        return self.gains_mw[sector_id, tilt_index]
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Stacked planes for one tilt index per sector: the whole-
+        network assignment the engine multiplies by power factors.
+
+        File-backed stores copy in bounded blocks of sectors, dropping
+        the mapped pages after each block — otherwise the faulted-in
+        file pages (another full tensor's worth) stay resident next to
+        the materialized result and a market-scale gather peaks at
+        twice its true footprint.
+        """
+        S, _, H, W = self.shape
+        if self.path is None:
+            out = self.gains_mw[np.arange(S), indices]
+            out.setflags(write=False)
+            return out
+        out = np.empty((S, H, W), dtype=self.gains_mw.dtype)
+        per_sector = H * W * self.gains_mw.itemsize
+        block = max(1, _GATHER_BLOCK_BYTES // max(per_sector, 1))
+        for start in range(0, S, block):
+            stop = min(S, start + block)
+            for s in range(start, stop):
+                out[s] = self.gains_mw[s, indices[s]]
+            self.drop_page_cache()
+        out.setflags(write=False)
+        return out
+
+    def bad_sectors(self) -> List[int]:
+        """Sector ids whose packed planes contain NaN/inf — one
+        vectorized ``isfinite`` reduction per block of sectors."""
+        S, T, H, W = self.shape
+        per_sector = T * H * W * self.gains_mw.itemsize
+        block = max(1, _SCAN_BLOCK_BYTES // max(per_sector, 1))
+        bad: List[int] = []
+        for start in range(0, S, block):
+            chunk = self.gains_mw[start:start + block]
+            ok = np.isfinite(chunk).all(axis=(1, 2, 3))
+            bad.extend(int(start + i) for i in np.flatnonzero(~ok))
+            self.drop_page_cache()
+        return bad
+
+    def drop_page_cache(self) -> None:
+        """Release resident mmap pages after a bulk read.
+
+        File-backed gathers touch the full tensor; without this the
+        page cache counts against the process RSS and a market-scale
+        sweep looks like a 23 GB leak.  No-op for in-memory stores.
+        """
+        if self.path is None:
+            return
+        mm = getattr(self.gains_mw, "_mmap", None)
+        if mm is not None and hasattr(mm, "madvise"):
+            try:
+                mm.madvise(mmap.MADV_DONTNEED)
+            except (ValueError, OSError):  # pragma: no cover — closed map
+                pass
+
+    # -- pickling (spawn workers) --------------------------------------
+    # File-backed stores ship only their path and reopen the memmap on
+    # the far side; in-memory stores pickle the (small) tensor itself.
+    def __getstate__(self) -> dict:
+        if self.path is not None:
+            return {"path": self.path, "tilt_values": self.tilt_values}
+        return {"gains_mw": np.asarray(self.gains_mw),
+                "tilt_values": self.tilt_values}
+
+    def __setstate__(self, state: dict) -> None:
+        path = state.get("path")
+        if path is not None:
+            header = read_header(path)
+            gains = _open_section(path, header, "gains_mw")
+            self.__init__(gains, state["tilt_values"], path=path)
+        else:
+            gains = state["gains_mw"]
+            gains.setflags(write=False)
+            self.__init__(gains, state["tilt_values"])
+
+
+# ----------------------------------------------------------------------
+# packing an existing database in memory
+# ----------------------------------------------------------------------
+def default_tilt_values(network: CellularNetwork) -> Tuple[float, ...]:
+    """The union of every sector's tilt catalogue, ascending."""
+    values = sorted({float(t) for s in network.sectors
+                     for t in s.tilt_range.settings})
+    return tuple(values)
+
+
+def pack_database(db: PathLossDatabase,
+                  tilt_values: Optional[Sequence[float]] = None
+                  ) -> PackedGainStore:
+    """Precompute the packed tensor from a dict-backed database.
+
+    Gains are the same float64 ``gain_matrix`` output the dict path
+    exponentiates; the assignment into the float32 tensor is the single
+    quantization step of the parity contract.
+    """
+    if tilt_values is None:
+        tilt_values = default_tilt_values(db.network)
+    S = db.network.n_sectors
+    H, W = db.grid.shape
+    gains = np.empty((S, len(tilt_values), H, W), dtype=np.float32)
+    for s in range(S):
+        for j, tilt in enumerate(tilt_values):
+            gains[s, j] = np.power(10.0, db.gain_matrix(s, float(tilt)) / 10.0)
+    gains.setflags(write=False)
+    return PackedGainStore(gains, tilt_values)
+
+
+# ----------------------------------------------------------------------
+# on-disk writer
+# ----------------------------------------------------------------------
+class PackedDatabaseWriter:
+    """Streams one sector at a time into a ``magus.plossdb/1`` file.
+
+    The file is laid out up front (header size and section offsets are
+    known from the shapes alone) but the magic/header preamble is
+    written only in :meth:`close`, after every sector has landed — an
+    interrupted build is detectable by its zeroed magic.  Writes go
+    through buffered ``seek``/``write`` rather than a writable memmap
+    so dirtied pages don't inflate the builder's RSS.
+    """
+
+    def __init__(self, path: str, grid: GridSpec, network: CellularNetwork,
+                 tilt_values: Sequence[float],
+                 tilt_model: TiltModelName = "exact") -> None:
+        self.path = os.fspath(path)
+        self.grid = grid
+        self.network = network
+        self.tilt_values = tuple(float(t) for t in tilt_values)
+        self._tilt_model = tilt_model
+        S = network.n_sectors
+        H, W = grid.shape
+        T = len(self.tilt_values)
+        self._plane_bytes = H * W * 4
+        self._sector_gain_bytes = T * self._plane_bytes
+
+        sections: Dict[str, Dict[str, object]] = {}
+        # Two-pass offset computation: a draft header (offsets zeroed)
+        # fixes the data start, then real offsets are filled in.  The
+        # final JSON only changes by offset digits, so one spare page
+        # of slack always covers the growth.
+        draft = self._header_dict(sections={}, file_bytes=0)
+        data_start = _align_up(_PREAMBLE + len(_encode(draft)) + _ALIGN)
+        offset = data_start
+        for name, shape in [("gains_mw", (S, T, H, W))] + \
+                [(f, (S, H, W)) for f in _SIDECARS]:
+            nbytes = int(np.prod(shape)) * 4
+            sections[name] = {"offset": offset, "shape": list(shape),
+                              "dtype": "<f4", "nbytes": nbytes}
+            offset = _align_up(offset + nbytes)
+        self._file_bytes = offset
+        self.header = self._header_dict(sections=sections,
+                                        file_bytes=self._file_bytes)
+        self._header_bytes = _encode(self.header)
+        if _PREAMBLE + len(self._header_bytes) > data_start:
+            raise AssertionError("plossdb header overflowed its slack page")
+        self._sections = sections
+        self._written: set = set()
+        self._fh: Optional[IO[bytes]] = open(self.path, "w+b")
+        # Reserve the full file (header region stays zeroed until close).
+        self._fh.truncate(self._file_bytes)
+
+    def _header_dict(self, sections: Dict, file_bytes: int) -> Dict:
+        H, W = self.grid.shape
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "dtype": "float32",
+            "tilt_model": self._tilt_model,
+            "tilt_values": list(self.tilt_values),
+            "n_sectors": self.network.n_sectors,
+            "n_tilts": len(self.tilt_values),
+            "grid_shape": [H, W],
+            "grid": _grid_to_json(self.grid),
+            "network": _network_to_json(self.network),
+            "sections": sections,
+            "file_bytes": file_bytes,
+        }
+
+    def write_sector(self, sector_id: int, raster: _SectorRaster,
+                     planes_mw: np.ndarray) -> None:
+        """Persist one sector: its (T, H, W) float32 mW planes plus the
+        five float32 sidecar rasters."""
+        assert self._fh is not None, "writer already closed"
+        T = len(self.tilt_values)
+        H, W = self.grid.shape
+        planes = np.ascontiguousarray(planes_mw, dtype=np.float32)
+        if planes.shape != (T, H, W):
+            raise ValueError(
+                f"sector {sector_id}: planes shape {planes.shape} != "
+                f"{(T, H, W)}")
+        self._fh.seek(self._sections["gains_mw"]["offset"]
+                      + sector_id * self._sector_gain_bytes)
+        self._fh.write(planes.tobytes())
+        for name in _SIDECARS:
+            plane = np.ascontiguousarray(
+                getattr(raster, name), dtype=np.float32)
+            self._fh.seek(self._sections[name]["offset"]
+                          + sector_id * self._plane_bytes)
+            self._fh.write(plane.tobytes())
+        self._written.add(sector_id)
+
+    def close(self) -> None:
+        """Validate completeness, then stamp the magic + header."""
+        assert self._fh is not None, "writer already closed"
+        missing = [s for s in range(self.network.n_sectors)
+                   if s not in self._written]
+        if missing:
+            self.abort()
+            raise ValueError(
+                f"plossdb build incomplete: sectors {missing[:8]}"
+                f"{'...' if len(missing) > 8 else ''} never written")
+        self._fh.seek(0)
+        self._fh.write(MAGIC)
+        self._fh.write(len(self._header_bytes).to_bytes(8, "little"))
+        self._fh.write(self._header_bytes)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+
+    def abort(self) -> None:
+        """Close the handle leaving the file headerless (unloadable)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "PackedDatabaseWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif self._fh is not None:
+            self.close()
+
+
+def save_packed(db: PathLossDatabase, path: str,
+                tilt_values: Optional[Sequence[float]] = None) -> Dict:
+    """Write an existing database to ``path`` in plossdb format.
+
+    Planes are recomputed from ``gain_matrix`` (not copied from any
+    attached store), so the file is bit-identical whether the source
+    database was dict-backed or packed.  Returns the header dict.
+    """
+    if tilt_values is None:
+        tilt_values = default_tilt_values(db.network)
+    T = len(tuple(tilt_values))
+    H, W = db.grid.shape
+    with PackedDatabaseWriter(path, db.grid, db.network, tilt_values,
+                              tilt_model=db.tilt_model) as writer:
+        for s in range(db.network.n_sectors):
+            planes = np.empty((T, H, W), dtype=np.float32)
+            for j, tilt in enumerate(writer.tilt_values):
+                planes[j] = np.power(10.0, db.gain_matrix(s, tilt) / 10.0)
+            writer.write_sector(s, db._rasters[s], planes)
+        header = writer.header
+    return header
+
+
+def stream_database(path: str, network: CellularNetwork,
+                    environment: Environment,
+                    spm: Optional[SPMParameters] = None,
+                    shadowing_sigma_db: float = DEFAULT_SHADOWING_SIGMA_DB,
+                    shadowing_corr_m: float = DEFAULT_SHADOWING_CORR_M,
+                    seed: int = 0,
+                    tilt_model: TiltModelName = "exact",
+                    tilt_values: Optional[Sequence[float]] = None,
+                    progress: Optional[Callable[[int, int], None]] = None
+                    ) -> Dict:
+    """Build a plossdb file one sector at a time — never holding more
+    than a single sector's rasters and planes in RAM.
+
+    The per-sector arithmetic is byte-identical to
+    ``PathLossDatabase.from_environment`` + ``gain_matrix`` (both call
+    the same ``compute_sector_raster`` / ``exact_gain_db`` helpers with
+    the same seeds), so a streamed file loads into the same planes an
+    in-memory build would produce.  Returns the header dict.
+    """
+    if tilt_values is None:
+        tilt_values = default_tilt_values(network)
+    grid = environment.grid
+    model = PropagationModel(environment, spm=spm)
+    corr_cells = shadowing_corr_m / grid.cell_size
+    H, W = grid.shape
+    ref = network.sector(0)
+    profiles: Dict[float, np.ndarray] = {}
+    with PackedDatabaseWriter(path, grid, network, tilt_values,
+                              tilt_model=tilt_model) as writer:
+        n = network.n_sectors
+        for s, sector in enumerate(network.sectors):
+            raster = compute_sector_raster(sector, environment, model,
+                                           corr_cells, shadowing_sigma_db,
+                                           seed)
+            planes = np.empty((len(writer.tilt_values), H, W),
+                              dtype=np.float32)
+            if tilt_model == "exact":
+                for j, tilt in enumerate(writer.tilt_values):
+                    gain = exact_gain_db(sector, raster, tilt)
+                    planes[j] = np.power(10.0, gain / 10.0)
+            else:  # shared-delta: base plane + cached radial profile
+                base = exact_gain_db(sector, raster,
+                                     sector.planned_tilt_deg)
+                for j, tilt in enumerate(writer.tilt_values):
+                    profile = profiles.get(tilt)
+                    if profile is None:
+                        profile = shared_tilt_profile(ref, tilt)
+                        profiles[tilt] = profile
+                    idx = np.clip(
+                        (raster.distance_m / _PROFILE_STEP_M).astype(int),
+                        0, len(profile) - 1)
+                    planes[j] = np.power(10.0,
+                                         (base + profile[idx]) / 10.0)
+            writer.write_sector(s, raster, planes)
+            del raster, planes
+            if progress is not None:
+                progress(s + 1, n)
+        header = writer.header
+    return header
+
+
+# ----------------------------------------------------------------------
+# loader
+# ----------------------------------------------------------------------
+def read_header(path: str) -> Dict:
+    """Parse and validate the preamble + JSON header of a plossdb file.
+
+    Raises ``ValueError`` with an actionable message on bad magic,
+    unsupported format version, or a truncated file.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    with open(path, "rb") as fh:
+        preamble = fh.read(_PREAMBLE)
+        if len(preamble) < _PREAMBLE or preamble[:len(MAGIC)] != MAGIC:
+            raise ValueError(
+                f"{path} is not a magus.plossdb file (bad magic); "
+                f"expected a file produced by `repro-magus pack` or "
+                f"save_packed()")
+        header_len = int.from_bytes(preamble[len(MAGIC):], "little")
+        raw = fh.read(header_len)
+    if len(raw) < header_len:
+        raise ValueError(
+            f"{path} is truncated inside its header "
+            f"({size} bytes on disk); re-run the pack")
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt plossdb header: {exc}") from exc
+    fmt = header.get("format")
+    version = header.get("version")
+    if fmt != FORMAT_NAME or version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} was written by format {fmt!r} version {version}; "
+            f"this build reads {FORMAT_NAME} version {FORMAT_VERSION} — "
+            f"rebuild the file with `repro-magus pack`")
+    expected = int(header["file_bytes"])
+    if size != expected:
+        raise ValueError(
+            f"{path} is truncated or padded: {size} of {expected} "
+            f"bytes; re-run the pack")
+    return header
+
+
+def _open_section(path: str, header: Dict, name: str) -> np.ndarray:
+    spec = header["sections"][name]
+    return np.memmap(path, mode="r", dtype=np.dtype(spec["dtype"]),
+                     offset=int(spec["offset"]),
+                     shape=tuple(spec["shape"]))
+
+
+def load_packed(path: str) -> PathLossDatabase:
+    """Open a plossdb file as a fully functional ``PathLossDatabase``.
+
+    Gains and sidecar rasters are read-only memory maps — nothing is
+    materialized until queried, so market-scale files load in
+    milliseconds and evaluate within the mmap page-cache budget.
+    Construction-time ``validate()`` is skipped (it would fault in the
+    whole tensor); call it explicitly to scan a suspect file.
+    """
+    path = os.fspath(path)
+    header = read_header(path)
+    grid = _grid_from_json(header["grid"])
+    network = _network_from_json(header["network"])
+    sidecars = {name: _open_section(path, header, name)
+                for name in _SIDECARS}
+    rasters = [
+        _SectorRaster(**{name: sidecars[name][s] for name in _SIDECARS})
+        for s in range(network.n_sectors)]
+    db = PathLossDatabase(grid, network, rasters,
+                          tilt_model=header.get("tilt_model", "exact"),
+                          validate=False)
+    gains = _open_section(path, header, "gains_mw")
+    db.attach_packed(PackedGainStore(gains, header["tilt_values"],
+                                     path=path))
+    return db
+
+
+# ----------------------------------------------------------------------
+# JSON (de)serialization of grid + network identity
+# ----------------------------------------------------------------------
+def _encode(header: Dict) -> bytes:
+    return json.dumps(header, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _grid_to_json(grid: GridSpec) -> Dict:
+    r = grid.region
+    return {"x0": r.x0, "y0": r.y0, "x1": r.x1, "y1": r.y1,
+            "cell_size": grid.cell_size}
+
+
+def _grid_from_json(data: Dict) -> GridSpec:
+    region = Region(data["x0"], data["y0"], data["x1"], data["y1"])
+    return GridSpec(region=region, cell_size=data["cell_size"])
+
+
+def _network_to_json(network: CellularNetwork) -> Dict:
+    return {"sectors": [_sector_to_json(s) for s in network.sectors]}
+
+
+def _sector_to_json(s: Sector) -> Dict:
+    return {
+        "sector_id": s.sector_id, "site_id": s.site_id,
+        "x": s.x, "y": s.y,
+        "azimuth_deg": s.azimuth_deg, "height_m": s.height_m,
+        "power_dbm": s.power_dbm, "max_power_dbm": s.max_power_dbm,
+        "min_power_dbm": s.min_power_dbm,
+        "antenna": {
+            "gain_dbi": s.antenna.gain_dbi,
+            "horiz_beamwidth": s.antenna.horiz_beamwidth,
+            "vert_beamwidth": s.antenna.vert_beamwidth,
+            "front_back_db": s.antenna.front_back_db,
+            "sla_db": s.antenna.sla_db,
+        },
+        "tilt_range": {
+            "normal_deg": s.tilt_range.normal_deg,
+            "min_deg": s.tilt_range.min_deg,
+            "max_deg": s.tilt_range.max_deg,
+            "step_deg": s.tilt_range.step_deg,
+        },
+    }
+
+
+def _network_from_json(data: Dict) -> CellularNetwork:
+    sectors = []
+    for sd in data["sectors"]:
+        sectors.append(Sector(
+            sector_id=sd["sector_id"], site_id=sd["site_id"],
+            x=sd["x"], y=sd["y"], azimuth_deg=sd["azimuth_deg"],
+            height_m=sd["height_m"], power_dbm=sd["power_dbm"],
+            max_power_dbm=sd["max_power_dbm"],
+            min_power_dbm=sd["min_power_dbm"],
+            antenna=AntennaPattern(**sd["antenna"]),
+            tilt_range=TiltRange(**sd["tilt_range"])))
+    return CellularNetwork(sectors)

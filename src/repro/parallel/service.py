@@ -106,7 +106,13 @@ class EvaluationService:
         self.chunks_per_worker = chunks_per_worker
         self._pool = None
         self._pool_epoch: Optional[int] = None
-        self._store = SharedPlaneStore()
+        # Memory-mapped (packed) databases produce float32 incumbents
+        # whose planes already live in the kernel page cache; spill
+        # every export to a temp file the workers mmap instead of
+        # doubling the footprint in /dev/shm.
+        spill = 0 if getattr(engine.pathloss, "is_file_backed", False) \
+            else None
+        self._store = SharedPlaneStore(spill_bytes=spill)
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -32,7 +32,7 @@ from ..model.network import Configuration, SectorSetting
 from ..obs import get_registry, trace
 from ..obs.telemetry import (WorkerTelemetry, drain_worker_telemetry,
                              reset_worker_observability)
-from .shm import SharedArrayHandle, attach_array, attach_block
+from .shm import SharedArrayHandle, attach_array, attach_handle_block
 
 __all__ = ["ScoreTask", "WorkerState"]
 
@@ -95,9 +95,11 @@ def _attach_incumbent(task: ScoreTask) -> DeltaIncumbent:
     blocks = {}
     views = {}
     for name, handle in task.handles.items():
+        # ``handle.block`` is the shm segment name or the spill-file
+        # path; attach_handle_block dispatches on ``handle.path``.
         block = blocks.get(handle.block)
         if block is None:
-            block = blocks[handle.block] = attach_block(handle.block)
+            block = blocks[handle.block] = attach_handle_block(handle)
         views[name] = attach_array(handle, block)
     incumbent = DeltaIncumbent(
         task.config, views["planes"], views["total_mw"],

@@ -18,8 +18,9 @@ full 27-scenario sweep runs on a laptop; every extent is a parameter
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -31,6 +32,8 @@ from ..model.linkrate import LinkAdaptation
 from ..model.load import uniform_per_sector_density
 from ..model.network import CellularNetwork, Configuration
 from ..model.pathloss import PathLossDatabase, TiltModelName
+from ..model.plossdb import (_network_to_json, load_packed, read_header,
+                             stream_database)
 from ..model.propagation import Environment
 from ..model.snapshot import NetworkState
 from .placement import AreaType, build_network
@@ -38,7 +41,8 @@ from .terrain import TerrainParameters, generate_environment
 from .users import sector_ue_counts
 
 __all__ = ["AreaDimensions", "StudyArea", "Market",
-           "build_area", "build_market", "MARKET_NAMES"]
+           "build_area", "build_market", "MARKET_NAMES",
+           "pack_area_database", "build_packed_market"]
 
 #: The paper anonymizes its three markets; we name ours after seeds.
 MARKET_NAMES = ("market-A", "market-B", "market-C")
@@ -122,7 +126,9 @@ def build_area(area_type: AreaType, seed: int = 0,
                tilt_model: TiltModelName = "exact",
                planning: Optional[PlanningSettings] = None,
                name: Optional[str] = None,
-               evaluation_strategy: str = "delta") -> StudyArea:
+               evaluation_strategy: str = "delta",
+               pathloss_backend: str = "dict",
+               plossdb: Optional[str] = None) -> StudyArea:
     """Construct a reproducible :class:`StudyArea`.
 
     The pipeline mirrors how the paper's data feeds compose: place
@@ -133,6 +139,12 @@ def build_area(area_type: AreaType, seed: int = 0,
     pass so ``C_before`` is locally optimal the way operator-planned
     networks are (pass ``planning=PlanningSettings(max_passes=0)`` to
     skip it).
+
+    ``pathloss_backend="packed"`` precomputes the tilt-major float32
+    tensor in memory; ``plossdb`` names a ``magus.plossdb`` file to
+    memory-map instead of computing rasters (built first — streamed,
+    one sector at a time — if it does not exist yet).  Both switch the
+    evaluation pipeline to float32 planes.
     """
     dims = dims or AreaDimensions.for_area(area_type)
     tuning_region = Region.square(dims.tuning_side_m)
@@ -142,8 +154,13 @@ def build_area(area_type: AreaType, seed: int = 0,
     environment = generate_environment(grid, _terrain_for_area(area_type),
                                        seed=seed)
     network = build_network(analysis_region, area_type, seed=seed)
-    pathloss = PathLossDatabase.from_environment(
-        network, environment, seed=seed, tilt_model=tilt_model)
+    if plossdb is not None:
+        pathloss = _load_or_pack(plossdb, network, environment, seed,
+                                 tilt_model)
+    else:
+        pathloss = PathLossDatabase.from_environment(
+            network, environment, seed=seed, tilt_model=tilt_model,
+            backend=pathloss_backend)
     engine = AnalysisEngine(pathloss, link=link)
 
     # Two-pass density: footprints first, then per-sector totals spread
@@ -171,6 +188,83 @@ def build_area(area_type: AreaType, seed: int = 0,
         grid=grid, environment=environment, network=network,
         pathloss=pathloss, engine=engine, ue_density=density,
         sector_ues=per_sector, planned_config=planned, baseline=baseline)
+
+
+def _load_or_pack(path: str, network: CellularNetwork,
+                  environment: Environment, seed: int,
+                  tilt_model: TiltModelName) -> PathLossDatabase:
+    """Memory-map ``path`` if it exists (verifying it matches this
+    area's network/grid identity), else stream-build it first."""
+    if not os.path.exists(path):
+        stream_database(path, network, environment, seed=seed,
+                        tilt_model=tilt_model)
+    header = read_header(path)
+    expected = _network_to_json(network)
+    if header["network"] != expected:
+        raise ValueError(
+            f"{path} was packed for a different network "
+            f"({header['n_sectors']} sectors) than this area "
+            f"({network.n_sectors} sectors, or differing sector "
+            f"parameters); re-run `repro-magus pack` with the same "
+            f"area type and seed")
+    db = load_packed(path)
+    if db.grid.shape != environment.grid.shape:
+        raise ValueError(
+            f"{path} grid {db.grid.shape} does not match this area's "
+            f"analysis grid {environment.grid.shape}; re-pack with the "
+            f"same dimensions")
+    return db
+
+
+def pack_area_database(path: str, area_type: AreaType, seed: int = 0,
+                       dims: Optional[AreaDimensions] = None,
+                       tilt_model: TiltModelName = "exact",
+                       progress: Optional[Callable[[int, int], None]] = None
+                       ) -> Dict:
+    """Stream a standard study area's path-loss database to disk.
+
+    Constructs exactly the environment/network :func:`build_area` would
+    (same regions, same seeds), but never holds more than one sector's
+    rasters in RAM — so areas far beyond laptop scale can be packed and
+    later loaded with ``build_area(..., plossdb=path)``.  Returns the
+    plossdb header.
+    """
+    dims = dims or AreaDimensions.for_area(area_type)
+    tuning_region = Region.square(dims.tuning_side_m)
+    analysis_region = tuning_region.expanded(dims.margin_m)
+    grid = GridSpec(analysis_region, cell_size=dims.cell_size_m)
+    environment = generate_environment(grid, _terrain_for_area(area_type),
+                                       seed=seed)
+    network = build_network(analysis_region, area_type, seed=seed)
+    return stream_database(path, network, environment, seed=seed,
+                           tilt_model=tilt_model, progress=progress)
+
+
+def build_packed_market(path: str, seed: int = 0,
+                        area_type: AreaType = AreaType.URBAN,
+                        grid_cells: int = 600,
+                        cell_size_m: float = 16.0,
+                        tilt_values: Optional[list] = None,
+                        tilt_model: TiltModelName = "exact",
+                        progress: Optional[Callable[[int, int], None]] = None
+                        ) -> Dict:
+    """Stream a paper-scale square market to disk.
+
+    The default geometry is the paper's evaluation scale: a 600x600
+    raster (16 m cells over a ~9.6 km square) which at the urban 550 m
+    inter-site distance places 1000+ sectors.  Nothing larger than one
+    sector's planes is ever resident, so the ~23 GB logical tensor
+    builds on a laptop.  Returns the plossdb header.
+    """
+    side = grid_cells * cell_size_m
+    region = Region.square(side)
+    grid = GridSpec(region, cell_size=cell_size_m)
+    environment = generate_environment(grid, _terrain_for_area(area_type),
+                                       seed=seed)
+    network = build_network(region, area_type, seed=seed)
+    return stream_database(path, network, environment, seed=seed,
+                           tilt_model=tilt_model, tilt_values=tilt_values,
+                           progress=progress)
 
 
 @dataclass

@@ -12,6 +12,7 @@ parity checks target the service API directly.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 
 import numpy as np
@@ -22,7 +23,8 @@ from repro.core.utility import PerformanceUtility
 from repro.obs import MetricsRegistry, set_registry
 from repro.parallel import (DEFAULT_MIN_PARALLEL_BATCH, EvaluationService,
                             SharedPlaneStore, resolve_workers)
-from repro.parallel.shm import attach_array, attach_block
+from repro.parallel.shm import (attach_array, attach_block,
+                                attach_handle_block)
 
 _UTILITY = PerformanceUtility()
 
@@ -90,6 +92,39 @@ class TestSharedPlaneStore:
         with pytest.raises(FileNotFoundError):
             attach_block(name)
         store.close()               # idempotent
+
+    def test_spill_threshold_none_never_spills(self):
+        with SharedPlaneStore() as store:
+            handles = store.export("k", {"x": np.ones(8)})
+            assert handles["x"].path is None
+
+    def test_spill_export_roundtrip(self):
+        """``spill_bytes=0`` routes exports to mmap-able temp files;
+        workers attach through the same handle API and see the same
+        read-only arrays."""
+        arrays = {"a": np.arange(12, dtype=np.float32).reshape(3, 4),
+                  "b": np.arange(5, dtype=np.int64)}
+        with SharedPlaneStore(spill_bytes=0) as store:
+            handles = store.export("k", arrays)
+            path = handles["a"].path
+            assert path is not None and os.path.exists(path)
+            assert handles["a"].block == path    # doubles as cache key
+            block = attach_handle_block(handles["a"])
+            try:
+                for name, handle in handles.items():
+                    view = attach_array(handle, block)
+                    assert np.array_equal(view, arrays[name])
+                    assert not view.flags.writeable
+            finally:
+                block.close()
+        assert not os.path.exists(path)          # close() unlinked it
+
+    def test_spill_eviction_unlinks_file(self):
+        with SharedPlaneStore(capacity=1, spill_bytes=0) as store:
+            first = store.export("k1", {"x": np.ones(4)})
+            store.export("k2", {"x": np.ones(4)})
+            assert "k1" not in store
+            assert not os.path.exists(first["x"].path)
 
 
 # ----------------------------------------------------------------------
