@@ -103,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "from this magus.plossdb file (building "
                                "it first, streamed, if missing); switches "
                                "evaluation to float32 planes")
+    mitigate.add_argument("--chunk-deadline-s", type=float, default=None,
+                          metavar="S",
+                          help="per-chunk scoring deadline for --workers; "
+                               "a chunk that misses it is retried on a "
+                               "respawned pool, then quarantined to "
+                               "serial rescoring (default 600)")
+    mitigate.add_argument("--chaos", metavar="PLAN.json", default=None,
+                          help="inject the process/storage faults "
+                               "described by a magus.chaos-plan/1 file "
+                               "(worker SIGKILL, chunk stalls, artifact "
+                               "corruption) to exercise the supervision "
+                               "and durability layers")
     _add_obs_args(mitigate)
 
     pack = sub.add_parser(
@@ -124,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--tilts", type=int, default=None, metavar="K",
                       help="pack only the highest K tilt settings of the "
                            "ladder (--grid-cells mode; default: all)")
+    pack.add_argument("--no-checksums", action="store_true",
+                      help="skip the per-section CRC32C checksums "
+                           "(writes a v2 file whose sections simply "
+                           "carry no checksum stamps)")
 
     testbed = sub.add_parser("testbed", help="run a Section-3 scenario")
     testbed.add_argument("--scenario", type=int, choices=[1, 2], default=1)
@@ -186,9 +202,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                      or getattr(args, "trace", False)
                      or getattr(args, "trace_out", None))
     # The recorder runs whenever there is a consumer: an explicit
-    # --flight-out, or a fault plan whose abort path will flush it.
+    # --flight-out, or a fault/chaos plan whose abort path will flush it.
     recording = bool(getattr(args, "flight_out", None)
-                     or getattr(args, "faults", None))
+                     or getattr(args, "faults", None)
+                     or getattr(args, "chaos", None))
     sink = _ObsSink(args)
     previous_registry = None
     previous_recorder = None
@@ -321,6 +338,35 @@ def _cmd_mitigate(args, sink: _ObsSink) -> int:
     if args.faults:
         fault_plan = FaultPlan.load(args.faults)
         injector = FaultInjector(fault_plan)
+    chaos = None
+    chaos_hook = None
+    chaos_scratch = None
+    if args.chaos:
+        import tempfile
+
+        from .faults import ChaosInjector, ChaosPlan
+        from .faults.durable import add_post_write_hook
+        chaos_plan = ChaosPlan.load(args.chaos)
+        chaos_scratch = tempfile.mkdtemp(prefix="magus-chaos-")
+        chaos = ChaosInjector(chaos_plan, chaos_scratch)
+        # Artifact faults bite every durable write for the run's whole
+        # lifetime; the hook is removed (and the claim-marker scratch
+        # deleted) on the way out, whatever path exits.
+        chaos_hook = chaos.artifact_hook()
+        add_post_write_hook(chaos_hook)
+    try:
+        return _mitigate_run(args, sink, fault_plan, injector, chaos)
+    finally:
+        if chaos_hook is not None:
+            import shutil
+
+            from .faults.durable import remove_post_write_hook
+            remove_post_write_hook(chaos_hook)
+            shutil.rmtree(chaos_scratch, ignore_errors=True)
+
+
+def _mitigate_run(args, sink: _ObsSink, fault_plan, injector,
+                  chaos) -> int:
     if args.no_delta and args.workers > 1:
         print("--workers requires the delta engine; drop --no-delta",
               file=sys.stderr)
@@ -343,7 +389,9 @@ def _cmd_mitigate(args, sink: _ObsSink) -> int:
     targets = select_targets(area, scenario)
     magus = Magus.from_area(area, utility=args.utility,
                             evaluation_strategy=magus_strategy,
-                            workers=args.workers)
+                            workers=args.workers,
+                            chunk_deadline_s=args.chunk_deadline_s,
+                            chaos=chaos)
     status = 0
     # Everything below runs under the close() guarantee: whatever path
     # exits — including the structured aborts with exit codes 3/4 —
@@ -406,7 +454,8 @@ def _cmd_mitigate(args, sink: _ObsSink) -> int:
                   "scenario": args.scenario, "tuning": args.tuning,
                   "evaluation_strategy": magus_strategy,
                   "workers": args.workers,
-                  "fault_plan": args.faults})
+                  "fault_plan": args.faults,
+                  "chaos_plan": args.chaos})
         _emit_report(report, args, sink)
         if args.trace_out:
             print(f"chrome trace written to {args.trace_out}")
@@ -492,7 +541,7 @@ def _cmd_pack(args, sink: _ObsSink) -> int:
             args.out, seed=args.seed, area_type=AreaType(args.area_type),
             grid_cells=args.grid_cells, cell_size_m=args.cell_size,
             tilt_values=tilt_values, tilt_model=args.tilt_model,
-            progress=progress)
+            progress=progress, checksums=not args.no_checksums)
     else:
         if args.tilts is not None:
             print("--tilts requires --grid-cells (paper-scale mode)",
@@ -500,7 +549,8 @@ def _cmd_pack(args, sink: _ObsSink) -> int:
             return 2
         header = pack_area_database(
             args.out, AreaType(args.area_type), seed=args.seed,
-            tilt_model=args.tilt_model, progress=progress)
+            tilt_model=args.tilt_model, progress=progress,
+            checksums=not args.no_checksums)
     print(f"packed {header['n_sectors']} sectors x {header['n_tilts']} "
           f"tilts x {header['grid_shape'][0]}x{header['grid_shape'][1]} "
           f"grids -> {args.out} "

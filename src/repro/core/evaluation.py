@@ -72,7 +72,9 @@ class Evaluator:
                  cache_size: int = 512,
                  strategy: str = "delta",
                  workers: Optional[int] = None,
-                 min_parallel_batch: Optional[int] = None) -> None:
+                 min_parallel_batch: Optional[int] = None,
+                 chunk_deadline_s: Optional[float] = None,
+                 chaos=None) -> None:
         if ue_density.shape != engine.grid.shape:
             raise ValueError("UE raster does not match engine grid")
         if cache_size < 0:
@@ -88,6 +90,8 @@ class Evaluator:
         self.strategy = strategy
         self.workers = workers
         self.min_parallel_batch = min_parallel_batch
+        self.chunk_deadline_s = chunk_deadline_s
+        self.chaos = chaos
         self._service = None
         if strategy == "parallel":
             # Construction is cheap — the pool forks lazily on the
@@ -96,6 +100,10 @@ class Evaluator:
             kwargs = {}
             if min_parallel_batch is not None:
                 kwargs["min_parallel_batch"] = min_parallel_batch
+            if chunk_deadline_s is not None:
+                kwargs["chunk_deadline_s"] = chunk_deadline_s
+            if chaos is not None:
+                kwargs["chaos"] = chaos
             self._service = EvaluationService(
                 engine, self.ue_density, self.utility, workers, **kwargs)
         self._cache: "OrderedDict[Configuration, Tuple[NetworkState, float]]" = \
@@ -157,7 +165,9 @@ class Evaluator:
                          cache_size=self._cache_size,
                          strategy=self.strategy,
                          workers=self.workers,
-                         min_parallel_batch=self.min_parallel_batch)
+                         min_parallel_batch=self.min_parallel_batch,
+                         chunk_deadline_s=self.chunk_deadline_s,
+                         chaos=self.chaos)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -57,11 +57,15 @@ class Magus:
                  tilt_settings: Optional[TiltSearchSettings] = None,
                  default_config: Optional[Configuration] = None,
                  evaluation_strategy: str = "delta",
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 chunk_deadline_s: Optional[float] = None,
+                 chaos=None) -> None:
         self.network = network
         self.evaluator = Evaluator(engine, ue_density, utility,
                                    strategy=evaluation_strategy,
-                                   workers=workers)
+                                   workers=workers,
+                                   chunk_deadline_s=chunk_deadline_s,
+                                   chaos=chaos)
         self.power_settings = power_settings or PowerSearchSettings()
         self.tilt_settings = tilt_settings or TiltSearchSettings()
         self.default_config = (default_config

@@ -9,6 +9,8 @@ triple and the recovery ratio of Formula 7.
 from __future__ import annotations
 
 import enum
+import math
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -98,12 +100,18 @@ def recovery_ratio(f_before: float, f_upgrade: float, f_after: float) -> float:
     (paper Table 2 shows -29.3%).
 
     If the upgrade causes no degradation at all the ratio is defined as
-    1.0 (there was nothing to recover and nothing was lost).
+    1.0 (there was nothing to recover and nothing was lost).  Finite
+    inputs always yield a finite ratio: a quotient that overflows to
+    infinity (a huge numerator over a tiny degradation) is clamped to
+    the largest representable float with the quotient's sign.
     """
     degradation = f_before - f_upgrade
     if degradation <= 0:
         return 1.0
-    return (f_after - f_upgrade) / degradation
+    ratio = (f_after - f_upgrade) / degradation
+    if math.isinf(ratio) and math.isfinite(f_after - f_upgrade):
+        return math.copysign(sys.float_info.max, ratio)
+    return ratio
 
 
 @dataclass

@@ -14,12 +14,28 @@ The package has two halves that meet in the middle:
   checkpoints each accepted step (``magus.checkpoint/1``) so a killed
   run resumes byte-identically.
 
+Two further layers extend the modeled network faults to *real*
+process- and storage-level faults:
+
+* **durability** — :mod:`repro.faults.durable`: crash-atomic artifact
+  writes (temp + fsync + rename) and CRC32C payload checksums, adopted
+  by checkpoints, packed path-loss files, and every observability
+  artifact;
+* **chaos** — :mod:`repro.faults.chaos`: a seeded, JSON-serializable
+  :class:`ChaosPlan` that SIGKILLs pool workers mid-dispatch, delays
+  chunks past their deadline, and corrupts freshly written artifacts,
+  for tests that assert runs still converge bitwise-identically.
+
 Nothing here is active by default: with no plan and no checkpoint the
 instrumented call sites reduce to ``None`` checks.
 """
 
+from .chaos import (CHAOS_SCHEMA, ArtifactFaults, ChaosInjector,
+                    ChaosPlan, ChunkDelay, WorkerKill)
 from .checkpoint import (CHECKPOINT_SCHEMA, RolloutCheckpoint,
                          decode_config, encode_config, schedule_run_id)
+from .durable import (ChecksumError, atomic_write, atomic_write_json,
+                      checksum_hex, crc32c, verify_checksum)
 from .errors import ConfigPushError, RolloutAborted
 from .executor import ResilientExecutor, RetryPolicy, RolloutResult
 from .injector import FaultInjector, PushOutcome
@@ -34,4 +50,8 @@ __all__ = [
     "RetryPolicy", "RolloutResult", "ResilientExecutor",
     "RolloutCheckpoint", "CHECKPOINT_SCHEMA", "encode_config",
     "decode_config", "schedule_run_id",
+    "atomic_write", "atomic_write_json", "crc32c", "checksum_hex",
+    "verify_checksum", "ChecksumError",
+    "ChaosPlan", "WorkerKill", "ChunkDelay", "ArtifactFaults",
+    "ChaosInjector", "CHAOS_SCHEMA",
 ]

@@ -10,6 +10,14 @@ Configurations are encoded positionally — ``[power_dbm, tilt_deg,
 active, azimuth_offset_deg]`` per sector with floats round-tripped via
 ``repr`` (exact for IEEE doubles) — so a resumed run's final
 configuration is byte-identical to an uninterrupted one.
+
+Durability: :meth:`RolloutCheckpoint.save` goes through
+:func:`repro.faults.durable.atomic_write` and stamps a CRC32C over the
+canonical payload encoding; before each save the previous file rotates
+to ``<path>.prev``.  On resume a checkpoint that fails its checksum
+(or was torn mid-rotation) falls back to the ``.prev`` last-known-good
+instead of aborting the rollout.  Checkpoints written by older builds
+carry no ``checksum`` field and still load.
 """
 
 from __future__ import annotations
@@ -21,11 +29,25 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..model.network import Configuration, SectorSetting
+from .durable import atomic_write, checksum_hex, verify_checksum
 
 __all__ = ["RolloutCheckpoint", "CHECKPOINT_SCHEMA", "encode_config",
            "decode_config", "schedule_run_id"]
 
 CHECKPOINT_SCHEMA = "magus.checkpoint/1"
+
+
+def _canonical_bytes(data: Dict[str, object]) -> bytes:
+    """The byte string the checkpoint checksum covers.
+
+    Canonical (sorted-keys, compact) JSON of the document minus the
+    ``checksum`` field itself; stable across dump/parse round trips
+    because every float in the payload is either repr-encoded as a
+    string or round-trips through shortest-repr JSON exactly.
+    """
+    body = {k: v for k, v in data.items() if k != "checksum"}
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
 
 
 def encode_config(config: Configuration) -> List[List[object]]:
@@ -97,26 +119,88 @@ class RolloutCheckpoint:
             retries=int(data.get("retries", 0)),
             meta=dict(data.get("meta", {})))
 
-    def save(self, path: str) -> None:
-        """Atomic write: a crash mid-save never corrupts the file."""
-        tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2)
-            fh.write("\n")
-        os.replace(tmp, path)
+    def save(self, path: str, *, rotate: bool = True) -> None:
+        """Checksummed atomic write, rotating the prior file to ``.prev``.
+
+        Rotation happens before the write so that if the *new* file is
+        torn or bit-flipped, ``.prev`` still holds the last checkpoint
+        that passed verification — resume falls back rather than
+        restarting the rollout from scratch.
+        """
+        doc = self.to_dict()
+        doc["checksum"] = checksum_hex(_canonical_bytes(doc))
+        if rotate and os.path.exists(path):
+            try:
+                os.replace(path, previous_path(path))
+            except OSError:
+                pass
+        atomic_write(path, json.dumps(doc, indent=2) + "\n",
+                     kind="checkpoint")
 
     @classmethod
     def load(cls, path: str) -> "RolloutCheckpoint":
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return cls.from_dict(json.load(fh))
-        except (OSError, json.JSONDecodeError, KeyError) as exc:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"cannot load checkpoint {path!r}: {exc}") from exc
+        stamp = data.get("checksum")
+        if stamp is not None:
+            verify_checksum(_canonical_bytes(data), str(stamp),
+                            what=f"checkpoint {path!r}")
+        try:
+            return cls.from_dict(data)
+        except (KeyError, TypeError, ValueError) as exc:
             raise ValueError(
                 f"cannot load checkpoint {path!r}: {exc}") from exc
 
     @classmethod
     def load_if_exists(cls, path: Optional[str]
                        ) -> Optional["RolloutCheckpoint"]:
-        if path is None or not os.path.exists(path):
+        """Load ``path``, falling back to its ``.prev`` rotation.
+
+        A corrupt (or rotated-away-then-never-rewritten) primary file
+        resumes from the last-known-good ``.prev`` checkpoint; only
+        when *both* generations are unreadable does the original
+        error propagate.
+        """
+        if path is None:
             return None
-        return cls.load(path)
+        prev = previous_path(path)
+        error: Optional[ValueError] = None
+        if os.path.exists(path):
+            try:
+                return cls.load(path)
+            except ValueError as exc:
+                error = exc
+        elif not os.path.exists(prev):
+            return None
+        if os.path.exists(prev):
+            try:
+                checkpoint = cls.load(prev)
+            except ValueError:
+                if error is not None:
+                    raise error
+                raise
+            _record_checkpoint_fallback(path, error)
+            return checkpoint
+        raise error
+
+
+def previous_path(path: str) -> str:
+    """Where :meth:`RolloutCheckpoint.save` rotates the prior file."""
+    return f"{path}.prev"
+
+
+def _record_checkpoint_fallback(path: str,
+                                error: Optional[ValueError]) -> None:
+    """Note a last-known-good fallback in metrics + flight recorder."""
+    from ..obs.events import get_flight_recorder
+    from ..obs.registry import get_registry
+
+    get_registry().counter("magus.faults.checkpoint_fallbacks").inc()
+    get_flight_recorder().record(
+        "checkpoint_fallback", path=path,
+        reason="corrupt" if error is not None else "missing",
+        error=str(error) if error is not None else None)

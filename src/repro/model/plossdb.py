@@ -37,6 +37,15 @@ to each other.
 The header is written *last*: an interrupted build leaves zeroed magic
 bytes, so partial files fail loudly at load instead of parsing as an
 all-zero market.
+
+Version 2 adds a CRC32C per section (``"checksum": "crc32c:…"`` in
+each section-table entry), computed over the raw section bytes when
+the writer closes.  :func:`load_packed` verifies small files
+automatically and big ones on request (``verify=True``), failing with
+the section name and byte range so a flipped bit in a 23 GB market is
+a diagnosis, not a mystery mitigation plan.  Version-1 files (no
+checksums) still load; checksum-less v2 builds are available via
+``checksums=False`` / ``repro-magus pack --no-checksums``.
 """
 
 from __future__ import annotations
@@ -59,13 +68,26 @@ from .propagation import Environment, PropagationModel, SPMParameters
 
 __all__ = ["PackedGainStore", "PackedDatabaseWriter", "pack_database",
            "save_packed", "load_packed", "stream_database", "read_header",
-           "FORMAT_NAME", "MAGIC"]
+           "verify_sections", "FORMAT_NAME", "MAGIC"]
 
 FORMAT_NAME = "magus.plossdb/1"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2                     # v2 = per-section CRC32C checksums
+SUPPORTED_VERSIONS = (1, 2)            # v1 files (no checksums) still load
 MAGIC = b"magus.plossdb/1\n"          # exactly 16 bytes
 _ALIGN = 4096                          # section alignment (page size)
 _PREAMBLE = len(MAGIC) + 8             # magic + uint64-LE header length
+
+#: ``load_packed(verify="auto")`` verifies every checksummed section
+#: when their total size is at or below this; beyond it verification is
+#: opt-in so market-scale loads stay O(milliseconds).
+_VERIFY_AUTO_BYTES = 256 * 1024 * 1024
+#: Read granularity for streaming section checksums.
+_CRC_BLOCK_BYTES = 64 * 1024 * 1024
+
+#: Fixed-width placeholder stamped into section specs at layout time;
+#: the real CRC (same encoded width) replaces it when the writer
+#: closes, so the header's byte length never shifts.
+_CHECKSUM_PLACEHOLDER = "crc32c:00000000"
 
 #: Sidecar raster planes persisted alongside the gains tensor, in
 #: section order.  Field names match ``_SectorRaster``.
@@ -273,12 +295,14 @@ class PackedDatabaseWriter:
 
     def __init__(self, path: str, grid: GridSpec, network: CellularNetwork,
                  tilt_values: Sequence[float],
-                 tilt_model: TiltModelName = "exact") -> None:
+                 tilt_model: TiltModelName = "exact",
+                 checksums: bool = True) -> None:
         self.path = os.fspath(path)
         self.grid = grid
         self.network = network
         self.tilt_values = tuple(float(t) for t in tilt_values)
         self._tilt_model = tilt_model
+        self._checksums = bool(checksums)
         S = network.n_sectors
         H, W = grid.shape
         T = len(self.tilt_values)
@@ -298,6 +322,10 @@ class PackedDatabaseWriter:
             nbytes = int(np.prod(shape)) * 4
             sections[name] = {"offset": offset, "shape": list(shape),
                               "dtype": "<f4", "nbytes": nbytes}
+            if self._checksums:
+                # Real CRCs land at close(); the placeholder has the
+                # same encoded width so the header length is final now.
+                sections[name]["checksum"] = _CHECKSUM_PLACEHOLDER
             offset = _align_up(offset + nbytes)
         self._file_bytes = offset
         self.header = self._header_dict(sections=sections,
@@ -352,7 +380,12 @@ class PackedDatabaseWriter:
         self._written.add(sector_id)
 
     def close(self) -> None:
-        """Validate completeness, then stamp the magic + header."""
+        """Validate completeness, checksum sections, stamp the header.
+
+        Section CRCs are computed by re-reading the file (sectors may
+        have been written in any order), replacing the fixed-width
+        placeholders; the re-encoded header cannot change length.
+        """
         assert self._fh is not None, "writer already closed"
         missing = [s for s in range(self.network.n_sectors)
                    if s not in self._written]
@@ -361,6 +394,17 @@ class PackedDatabaseWriter:
             raise ValueError(
                 f"plossdb build incomplete: sectors {missing[:8]}"
                 f"{'...' if len(missing) > 8 else ''} never written")
+        if self._checksums:
+            self._fh.flush()
+            expected_len = len(self._header_bytes)
+            for name, spec in self._sections.items():
+                spec["checksum"] = _stream_checksum(
+                    self._fh, int(spec["offset"]), int(spec["nbytes"]))
+            self._header_bytes = _encode(self.header)
+            if len(self._header_bytes) != expected_len:
+                raise AssertionError(
+                    "plossdb header length changed while stamping "
+                    "checksums")
         self._fh.seek(0)
         self._fh.write(MAGIC)
         self._fh.write(len(self._header_bytes).to_bytes(8, "little"))
@@ -386,8 +430,24 @@ class PackedDatabaseWriter:
             self.close()
 
 
+def _stream_checksum(fh: IO[bytes], offset: int, nbytes: int) -> str:
+    """``"crc32c:…"`` over ``nbytes`` of ``fh`` starting at ``offset``,
+    read in bounded blocks so checksumming never materializes a
+    section."""
+    from ..faults.durable import checksum_hex, crc32c
+
+    fh.seek(offset)
+    value = 0
+    remaining = nbytes
+    while remaining > _CRC_BLOCK_BYTES:
+        value = crc32c(fh.read(_CRC_BLOCK_BYTES), value)
+        remaining -= _CRC_BLOCK_BYTES
+    return checksum_hex(fh.read(remaining), value)
+
+
 def save_packed(db: PathLossDatabase, path: str,
-                tilt_values: Optional[Sequence[float]] = None) -> Dict:
+                tilt_values: Optional[Sequence[float]] = None,
+                checksums: bool = True) -> Dict:
     """Write an existing database to ``path`` in plossdb format.
 
     Planes are recomputed from ``gain_matrix`` (not copied from any
@@ -399,7 +459,8 @@ def save_packed(db: PathLossDatabase, path: str,
     T = len(tuple(tilt_values))
     H, W = db.grid.shape
     with PackedDatabaseWriter(path, db.grid, db.network, tilt_values,
-                              tilt_model=db.tilt_model) as writer:
+                              tilt_model=db.tilt_model,
+                              checksums=checksums) as writer:
         for s in range(db.network.n_sectors):
             planes = np.empty((T, H, W), dtype=np.float32)
             for j, tilt in enumerate(writer.tilt_values):
@@ -417,8 +478,8 @@ def stream_database(path: str, network: CellularNetwork,
                     seed: int = 0,
                     tilt_model: TiltModelName = "exact",
                     tilt_values: Optional[Sequence[float]] = None,
-                    progress: Optional[Callable[[int, int], None]] = None
-                    ) -> Dict:
+                    progress: Optional[Callable[[int, int], None]] = None,
+                    checksums: bool = True) -> Dict:
     """Build a plossdb file one sector at a time — never holding more
     than a single sector's rasters and planes in RAM.
 
@@ -437,7 +498,8 @@ def stream_database(path: str, network: CellularNetwork,
     ref = network.sector(0)
     profiles: Dict[float, np.ndarray] = {}
     with PackedDatabaseWriter(path, grid, network, tilt_values,
-                              tilt_model=tilt_model) as writer:
+                              tilt_model=tilt_model,
+                              checksums=checksums) as writer:
         n = network.n_sectors
         for s, sector in enumerate(network.sectors):
             raster = compute_sector_raster(sector, environment, model,
@@ -500,11 +562,12 @@ def read_header(path: str) -> Dict:
         raise ValueError(f"{path}: corrupt plossdb header: {exc}") from exc
     fmt = header.get("format")
     version = header.get("version")
-    if fmt != FORMAT_NAME or version != FORMAT_VERSION:
+    if fmt != FORMAT_NAME or version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"{path} was written by format {fmt!r} version {version}; "
-            f"this build reads {FORMAT_NAME} version {FORMAT_VERSION} — "
-            f"rebuild the file with `repro-magus pack`")
+            f"this build reads {FORMAT_NAME} versions "
+            f"{list(SUPPORTED_VERSIONS)} — rebuild the file with "
+            f"`repro-magus pack`")
     expected = int(header["file_bytes"])
     if size != expected:
         raise ValueError(
@@ -520,7 +583,37 @@ def _open_section(path: str, header: Dict, name: str) -> np.ndarray:
                      shape=tuple(spec["shape"]))
 
 
-def load_packed(path: str) -> PathLossDatabase:
+def verify_sections(path: str, header: Optional[Dict] = None) -> List[str]:
+    """Check every checksummed section of ``path`` against its CRC.
+
+    Returns the names of the sections actually verified (empty for a
+    v1 file, which carries no checksums).  Raises ``ValueError``
+    naming the first bad section and its byte range — the actionable
+    half of "your packed market is corrupt".
+    """
+    path = os.fspath(path)
+    if header is None:
+        header = read_header(path)
+    verified: List[str] = []
+    with open(path, "rb") as fh:
+        for name, spec in header["sections"].items():
+            stamp = spec.get("checksum")
+            if stamp is None:
+                continue
+            offset, nbytes = int(spec["offset"]), int(spec["nbytes"])
+            actual = _stream_checksum(fh, offset, nbytes)
+            if actual != stamp:
+                raise ValueError(
+                    f"{path}: section {name!r} (bytes {offset}.."
+                    f"{offset + nbytes}) fails its checksum — recorded "
+                    f"{stamp}, computed {actual}.  The file is corrupt "
+                    f"(torn write or bit rot); re-run the pack, or "
+                    f"load with verify=False to inspect the damage")
+            verified.append(name)
+    return verified
+
+
+def load_packed(path: str, verify: object = "auto") -> PathLossDatabase:
     """Open a plossdb file as a fully functional ``PathLossDatabase``.
 
     Gains and sidecar rasters are read-only memory maps — nothing is
@@ -528,9 +621,24 @@ def load_packed(path: str) -> PathLossDatabase:
     milliseconds and evaluate within the mmap page-cache budget.
     Construction-time ``validate()`` is skipped (it would fault in the
     whole tensor); call it explicitly to scan a suspect file.
+
+    ``verify`` controls checksum verification of v2 files: ``True``
+    always streams every section through its CRC32C, ``False`` never
+    does, and ``"auto"`` (default) verifies only files small enough
+    (≤256 MB of sections) that the scan doesn't compromise the
+    milliseconds-load contract — run :func:`verify_sections` (or
+    ``verify=True``) explicitly for market-scale files.
     """
     path = os.fspath(path)
     header = read_header(path)
+    if verify not in (True, False, "auto"):
+        raise ValueError(f"verify must be True, False or 'auto', "
+                         f"not {verify!r}")
+    if verify is True or (
+            verify == "auto"
+            and sum(int(s["nbytes"]) for s in header["sections"].values()
+                    if "checksum" in s) <= _VERIFY_AUTO_BYTES):
+        verify_sections(path, header)
     grid = _grid_from_json(header["grid"])
     network = _network_from_json(header["network"])
     sidecars = {name: _open_section(path, header, name)

@@ -135,9 +135,12 @@ class FlightRecorder:
             payload = self.snapshot()
             self._flushed_seq = last_seq
             self._flushed_path = target
-        with open(target, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2)
-            fh.write("\n")
+        # Lazy import: faults.durable is repro-import-free, but going
+        # through the faults package from obs at module scope would be
+        # circular (faults.executor imports obs).
+        from ..faults.durable import atomic_write_json
+
+        atomic_write_json(target, payload, kind="flight")
         return target
 
     def clear(self) -> None:

@@ -160,9 +160,10 @@ class RunReport:
         )
 
     def write(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_json())
-            fh.write("\n")
+        """Atomic write: an abort mid-flush never truncates the report."""
+        from ..faults.durable import atomic_write  # avoids import cycle
+
+        atomic_write(path, self.to_json() + "\n", kind="report")
 
     # -- presentation --------------------------------------------------
     def to_table(self) -> str:

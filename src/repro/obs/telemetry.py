@@ -254,9 +254,9 @@ def export_chrome_trace(path: str,
         "displayTimeUnit": "ms",
         "otherData": {"schema": CHROME_TRACE_SCHEMA},
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    from ..faults.durable import atomic_write_json  # avoids import cycle
+
+    atomic_write_json(path, payload, kind="trace")
     return payload
 
 

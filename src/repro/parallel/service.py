@@ -20,10 +20,21 @@ out across a pool of worker processes.  Design constraints, in order:
    finishes early simply takes the next chunk — work stealing without
    a bespoke scheduler.  ``magus.parallel.steals`` counts the chunks
    workers absorbed beyond their even share.
-4. **Graceful degradation.**  Batches below ``min_parallel_batch``, a
-   single-worker service, a daemonic caller, a stale path-loss epoch
-   or any worker failure all return ``None`` — the caller's serial
-   delta path answers instead, with identical results.
+4. **Supervised degradation.**  Every dispatched chunk runs under a
+   deadline (``chunk_deadline_s``); a chunk whose worker dies (SIGKILL
+   leaves its ``AsyncResult`` forever un-ready — detected by polling
+   the pool's worker pids) or times out is re-dispatched to a freshly
+   respawned pool, bounded by a respawn budget.  A chunk that fails
+   twice is *quarantined*: re-scored serially in the parent while the
+   rest of the dispatch stays on the pool, so one poisoned chunk
+   degrades only itself.  Completed chunks are never recomputed.
+   Every decision lands in the flight recorder and the
+   ``magus.parallel.{chunk_retries,pool_respawns,chunks_quarantined}``
+   counters (rendered in the run report's ``parallel:`` section).
+   Batches below ``min_parallel_batch``, a single-worker service, a
+   daemonic caller or a stale path-loss epoch still return ``None`` —
+   the caller's serial delta path answers instead, with identical
+   results.
 
 The service is a context manager; :meth:`close` terminates the pool
 and unlinks every shared-memory block, and is always safe to call
@@ -35,7 +46,8 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,8 +77,21 @@ DEFAULT_CHUNKS_PER_WORKER = 4
 #: evaluator's serial batching.
 _MAX_CHUNK = 64
 
-#: Seconds to wait for one chunk before declaring the pool wedged.
+#: Default per-chunk deadline; override with ``chunk_deadline_s`` (or
+#: `--chunk-deadline-s` on the CLI).
 _RESULT_TIMEOUT_S = 600.0
+
+#: Full-pool respawns allowed per dispatch before failed chunks go
+#: straight to serial quarantine.
+DEFAULT_MAX_POOL_RESPAWNS = 2
+
+#: After a worker death is detected, chunks still in flight get this
+#: long to land before being declared lost with it (the dead worker's
+#: chunk can never land; its siblings usually finish in milliseconds).
+_DEATH_GRACE_S = 5.0
+
+#: Poll interval of the supervision loop.
+_POLL_S = 0.02
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -92,18 +117,32 @@ class EvaluationService:
     def __init__(self, engine: AnalysisEngine, ue_density: np.ndarray,
                  utility, workers: Optional[int] = None, *,
                  min_parallel_batch: int = DEFAULT_MIN_PARALLEL_BATCH,
-                 chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER
-                 ) -> None:
+                 chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+                 chunk_deadline_s: Optional[float] = None,
+                 max_pool_respawns: int = DEFAULT_MAX_POOL_RESPAWNS,
+                 chaos=None) -> None:
         if min_parallel_batch < 1:
             raise ValueError("min_parallel_batch must be >= 1")
         if chunks_per_worker < 1:
             raise ValueError("chunks_per_worker must be >= 1")
+        if chunk_deadline_s is not None and chunk_deadline_s <= 0:
+            raise ValueError("chunk_deadline_s must be positive")
+        if max_pool_respawns < 0:
+            raise ValueError("max_pool_respawns must be non-negative")
         self.engine = engine
         self.ue_density = np.asarray(ue_density, dtype=float)
         self.utility = utility
         self.workers = resolve_workers(workers)
         self.min_parallel_batch = min_parallel_batch
         self.chunks_per_worker = chunks_per_worker
+        self.chunk_deadline_s = (chunk_deadline_s
+                                 if chunk_deadline_s is not None
+                                 else _RESULT_TIMEOUT_S)
+        self.max_pool_respawns = max_pool_respawns
+        #: Optional :class:`~repro.faults.chaos.ChaosInjector` handed
+        #: to workers (via WorkerState) so chaos plans can SIGKILL or
+        #: stall chunks from inside the pool.
+        self.chaos = chaos
         self._pool = None
         self._pool_epoch: Optional[int] = None
         # Memory-mapped (packed) databases produce float32 incumbents
@@ -165,7 +204,8 @@ class EvaluationService:
         methods = multiprocessing.get_all_start_methods()
         state = _worker.WorkerState(engine=self.engine,
                                     ue_density=self.ue_density,
-                                    utility=self.utility)
+                                    utility=self.utility,
+                                    chaos=self.chaos)
         if "fork" in methods:
             ctx = multiprocessing.get_context("fork")
             # Children inherit the engine (path-loss rasters included)
@@ -227,7 +267,28 @@ class EvaluationService:
                               handles=handles,
                               moves=tuple(moves[bounds[i]:bounds[i + 1]]))
             for i in range(chunk_count) if bounds[i] < bounds[i + 1]]
-        results = self._dispatch(_worker._score_chunk, tasks)
+
+        def rescore_serially(task: _worker.ScoreTask):
+            # Quarantine path: score one chunk in the parent through
+            # the very same evaluate_batch + per-candidate reduction
+            # the worker runs, so a rescued chunk is still bitwise
+            # identical to a pool-scored one.
+            base = list(task.config.settings)
+            chunk_configs = []
+            for sector_id, setting in task.moves:
+                settings = list(base)
+                settings[sector_id] = setting
+                chunk_configs.append(Configuration(tuple(settings)))
+            batch = self.engine.evaluate_batch(incumbent, chunk_configs,
+                                               self.ue_density)
+            if batch is None:
+                return task.chunk_index, None, None
+            values = self.utility.per_ue(batch.rate_bps) * self.ue_density
+            sums = values.reshape(values.shape[0], -1).sum(axis=1)
+            return task.chunk_index, [float(u) for u in sums], None
+
+        results = self._dispatch(_worker._score_chunk, tasks,
+                                 serial_fn=rescore_serially)
         if results is None:
             return None
         ordered: List[Optional[List[float]]] = [None] * len(tasks)
@@ -280,14 +341,16 @@ class EvaluationService:
     # ------------------------------------------------------------------
     def run_tasks(self, fn: Callable, items: Sequence,
                   timeout_s: Optional[float] = None,
-                  progress: Optional[Callable[[int], None]] = None
-                  ) -> Optional[list]:
+                  progress: Optional[Callable[[int], None]] = None,
+                  serial_fn: Optional[Callable] = None) -> Optional[list]:
         """Run ``fn(item)`` for every item on the pool, results ordered.
 
         ``progress`` (if given) is called with the completed-item count
         after each result lands — sweeps use it to publish live
-        throughput gauges.  Returns ``None`` when the pool is unusable
-        or a worker failed — callers run the loop serially instead.
+        throughput gauges.  ``serial_fn`` (default ``fn``-less) rescues
+        quarantined items in the parent; without one, a dispatch whose
+        retries are exhausted returns ``None`` — but items that *did*
+        complete are never recomputed on the pool either way.
         """
         if not items:
             return []
@@ -297,33 +360,166 @@ class EvaluationService:
         if self._pool is None:
             return None
         return self._dispatch(fn, items, timeout_s=timeout_s,
-                              progress=progress)
+                              progress=progress, serial_fn=serial_fn)
+
+    # -- supervised dispatch -------------------------------------------
+    def _worker_pids(self) -> frozenset:
+        procs = getattr(self._pool, "_pool", None) or ()
+        return frozenset(p.pid for p in procs)
 
     def _dispatch(self, fn: Callable, items: Sequence,
                   timeout_s: Optional[float] = None,
-                  progress: Optional[Callable[[int], None]] = None
-                  ) -> Optional[list]:
+                  progress: Optional[Callable[[int], None]] = None,
+                  serial_fn: Optional[Callable] = None) -> Optional[list]:
+        """Run every item with per-chunk supervision.
+
+        The state machine per chunk: *submitted* → *done* on a clean
+        result; → *failed(reason)* on deadline expiry, worker death or
+        a worker-raised exception.  First failure re-dispatches the
+        chunk (``chunk_retries``), respawning the pool first when the
+        failure implicates it (``pool_respawns``, bounded by
+        ``max_pool_respawns``); second failure quarantines the chunk
+        to ``serial_fn`` in the parent (``chunks_quarantined``) while
+        the rest of the dispatch stays on the pool.
+        """
         registry = get_registry()
-        pending = [self._pool.apply_async(fn, (item,)) for item in items]
-        registry.counter("magus.parallel.tasks").inc(len(pending))
-        results = []
-        try:
-            for handle in pending:
-                results.append(handle.get(
-                    timeout=timeout_s or _RESULT_TIMEOUT_S))
+        recorder = get_flight_recorder()
+        deadline_s = (timeout_s if timeout_s is not None
+                      else self.chunk_deadline_s)
+        n = len(items)
+        results: List = [None] * n
+        done = [False] * n
+        failures = [0] * n
+        respawns = 0
+        registry.counter("magus.parallel.tasks").inc(n)
+        #: index -> [AsyncResult, deadline (monotonic)]
+        pending: Dict[int, list] = {}
+        pids = frozenset()
+
+        def submit(indices: Sequence[int]) -> None:
+            now = time.monotonic()
+            for i in indices:
+                pending[i] = [self._pool.apply_async(fn, (items[i],)),
+                              now + deadline_s]
+
+        def await_round() -> List[Tuple[int, str, Optional[str]]]:
+            """Drain ``pending``; return failures as (index, reason,
+            error).  On a detected worker death the remaining chunks'
+            deadlines shrink to a grace window — the dead worker's
+            chunk can never land, and its siblings either finish
+            within the grace or share its fate."""
+            nonlocal pids
+            failed: List[Tuple[int, str, Optional[str]]] = []
+            death_seen = False
+            while pending:
+                progressed = False
+                now = time.monotonic()
+                for i in list(pending):
+                    handle, deadline_at = pending[i]
+                    if handle.ready():
+                        del pending[i]
+                        progressed = True
+                        try:
+                            results[i] = handle.get(0)
+                        except Exception as exc:
+                            failed.append((i, "worker_raised",
+                                           f"{type(exc).__name__}: {exc}"))
+                        else:
+                            done[i] = True
+                            if progress is not None:
+                                progress(sum(done))
+                    elif now >= deadline_at:
+                        del pending[i]
+                        progressed = True
+                        failed.append((
+                            i,
+                            "worker_died" if death_seen else "deadline",
+                            None))
+                if not pending:
+                    break
+                current = self._worker_pids()
+                if current != pids:
+                    if pids - current:
+                        death_seen = True
+                        recorder.record(
+                            "worker_death",
+                            lost_pids=sorted(pids - current),
+                            in_flight=len(pending))
+                        grace = now + min(_DEATH_GRACE_S, deadline_s)
+                        for entry in pending.values():
+                            entry[1] = min(entry[1], grace)
+                    pids = current
+                if not progressed:
+                    time.sleep(_POLL_S)
+            return failed
+
+        submit(range(n))
+        pids = self._worker_pids()
+        while True:
+            failed = await_round()
+            if not failed:
+                break
+            retry: List[int] = []
+            quarantine: List[int] = []
+            pool_suspect = False
+            for i, reason, error in failed:
+                failures[i] += 1
+                recorder.record("chunk_failed", chunk=i, reason=reason,
+                                error=error, attempt=failures[i])
+                pool_suspect = pool_suspect or reason != "worker_raised"
+                (quarantine if failures[i] >= 2 else retry).append(i)
+            if retry and pool_suspect and respawns >= self.max_pool_respawns:
+                # Budget exhausted: no healthy pool to retry on.
+                recorder.record("respawn_budget_exhausted",
+                                chunks=sorted(retry))
+                quarantine.extend(retry)
+                retry = []
+            if retry:
+                if pool_suspect:
+                    respawns += 1
+                    registry.counter("magus.parallel.pool_respawns").inc()
+                    recorder.record("pool_respawn", attempt=respawns,
+                                    chunks=sorted(retry))
+                    self._shutdown_pool()
+                    self._ensure_pool()
+                    if self._pool is None:   # pragma: no cover — daemon
+                        quarantine.extend(retry)
+                        retry = []
+                    else:
+                        pids = frozenset()
+                if retry:
+                    registry.counter(
+                        "magus.parallel.chunk_retries").inc(len(retry))
+                    for i in retry:
+                        recorder.record("chunk_retry", chunk=i,
+                                        attempt=failures[i] + 1)
+                    submit(retry)
+                    pids = self._worker_pids()
+            # Serial quarantine rescue runs in the parent while any
+            # retried chunks execute on the pool.
+            for i in quarantine:
+                registry.counter(
+                    "magus.parallel.chunks_quarantined").inc()
+                recorder.record("chunk_quarantined", chunk=i,
+                                failures=failures[i],
+                                rescued=serial_fn is not None)
+                if serial_fn is None:
+                    _LOG.warning(
+                        "chunk %d failed %d times and no serial rescue "
+                        "is available; abandoning the dispatch "
+                        "(completed chunks: %d/%d)",
+                        i, failures[i], sum(done), n)
+                    recorder.record(
+                        "pool_fallback", reason="dispatch_failed",
+                        completed=sum(done), submitted=n)
+                    self._shutdown_pool()
+                    return None
+                results[i] = serial_fn(items[i])
+                done[i] = True
                 if progress is not None:
-                    progress(len(results))
-        except Exception as exc:   # worker died / timed out / raised
-            _LOG.warning("parallel dispatch failed (%s: %s); falling "
-                         "back to the serial path",
-                         type(exc).__name__, exc)
-            get_flight_recorder().record(
-                "pool_fallback", reason="dispatch_failed",
-                error=f"{type(exc).__name__}: {exc}",
-                completed=len(results), submitted=len(pending))
-            self._shutdown_pool()
-            return None
-        self._merge_telemetry(results, registry)
+                    progress(sum(done))
+        self._merge_telemetry([r for r in results if r is not None],
+                              registry)
         return results
 
     def _merge_telemetry(self, results: list, registry) -> None:

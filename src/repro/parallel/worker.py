@@ -47,6 +47,9 @@ class WorkerState:
     engine: AnalysisEngine
     ue_density: np.ndarray
     utility: object          # UtilityFunction with a pure ``per_ue``
+    #: Optional :class:`~repro.faults.chaos.ChaosInjector`; when set,
+    #: workers offer each chunk to it (which may SIGKILL this process).
+    chaos: object = None
 
 
 @dataclass(frozen=True)
@@ -128,6 +131,10 @@ def _score_chunk(task: ScoreTask
     """
     t0 = time.perf_counter_ns()
     state = _STATE
+    if state.chaos is not None:
+        # Chaos injection point: may SIGKILL this worker or stall the
+        # chunk past its deadline (the supervision tests' trigger).
+        state.chaos.on_chunk(task.chunk_index)
     utilities = None
     with trace.span("magus.parallel.score_chunk",
                     chunk=task.chunk_index, candidates=len(task.moves)):

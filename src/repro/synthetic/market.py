@@ -219,8 +219,8 @@ def _load_or_pack(path: str, network: CellularNetwork,
 def pack_area_database(path: str, area_type: AreaType, seed: int = 0,
                        dims: Optional[AreaDimensions] = None,
                        tilt_model: TiltModelName = "exact",
-                       progress: Optional[Callable[[int, int], None]] = None
-                       ) -> Dict:
+                       progress: Optional[Callable[[int, int], None]] = None,
+                       checksums: bool = True) -> Dict:
     """Stream a standard study area's path-loss database to disk.
 
     Constructs exactly the environment/network :func:`build_area` would
@@ -237,7 +237,8 @@ def pack_area_database(path: str, area_type: AreaType, seed: int = 0,
                                        seed=seed)
     network = build_network(analysis_region, area_type, seed=seed)
     return stream_database(path, network, environment, seed=seed,
-                           tilt_model=tilt_model, progress=progress)
+                           tilt_model=tilt_model, progress=progress,
+                           checksums=checksums)
 
 
 def build_packed_market(path: str, seed: int = 0,
@@ -246,8 +247,8 @@ def build_packed_market(path: str, seed: int = 0,
                         cell_size_m: float = 16.0,
                         tilt_values: Optional[list] = None,
                         tilt_model: TiltModelName = "exact",
-                        progress: Optional[Callable[[int, int], None]] = None
-                        ) -> Dict:
+                        progress: Optional[Callable[[int, int], None]] = None,
+                        checksums: bool = True) -> Dict:
     """Stream a paper-scale square market to disk.
 
     The default geometry is the paper's evaluation scale: a 600x600
@@ -264,7 +265,7 @@ def build_packed_market(path: str, seed: int = 0,
     network = build_network(region, area_type, seed=seed)
     return stream_database(path, network, environment, seed=seed,
                            tilt_model=tilt_model, tilt_values=tilt_values,
-                           progress=progress)
+                           progress=progress, checksums=checksums)
 
 
 @dataclass

@@ -141,9 +141,14 @@ class UpgradePlanner:
                                        evaluator.ue_density,
                                        evaluator.utility,
                                        n_workers) as service:
+                    # _SWEEP_STATE is set in this (parent) process too,
+                    # so quarantined scenarios re-run right here instead
+                    # of forcing the whole sweep back to the serial
+                    # loop — completed scenarios are never recomputed.
                     results = service.run_tasks(
                         _worker._run_sweep_item, range(total),
-                        progress=progress)
+                        progress=progress,
+                        serial_fn=_worker._run_sweep_item)
                 if results is not None:
                     return results
                 _LOG.warning("parallel sweep failed; rerunning the "

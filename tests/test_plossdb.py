@@ -22,10 +22,11 @@ from repro.core.planning import PlanningSettings
 from repro.core.utility import PerformanceUtility
 from repro.model.engine import AnalysisEngine
 from repro.model.pathloss import DEFAULT_PROFILE_CACHE_SIZE, PathLossDatabase
-from repro.model.plossdb import (FORMAT_NAME, MAGIC, PackedDatabaseWriter,
-                                 PackedGainStore, default_tilt_values,
-                                 load_packed, pack_database, read_header,
-                                 save_packed, stream_database)
+from repro.model.plossdb import (FORMAT_NAME, FORMAT_VERSION, MAGIC,
+                                 PackedDatabaseWriter, PackedGainStore,
+                                 default_tilt_values, load_packed,
+                                 pack_database, read_header, save_packed,
+                                 stream_database, verify_sections)
 from repro.model.propagation import Environment
 from repro.parallel import EvaluationService
 from repro.synthetic.market import AreaDimensions, build_area
@@ -164,7 +165,7 @@ class TestOnDiskFormat:
         save_packed(toy_pathloss, path)
         header = read_header(path)
         assert header["format"] == FORMAT_NAME
-        assert header["version"] == 1
+        assert header["version"] == FORMAT_VERSION
         assert header["n_sectors"] == toy_pathloss.network.n_sectors
         assert tuple(header["tilt_values"]) == default_tilt_values(
             toy_pathloss.network)
@@ -178,9 +179,11 @@ class TestOnDiskFormat:
 
     def test_version_mismatch_is_actionable(self, tmp_path):
         path = tmp_path / "future.plossdb"
-        raw = json.dumps({"format": FORMAT_NAME, "version": 2}).encode()
+        future = FORMAT_VERSION + 1
+        raw = json.dumps({"format": FORMAT_NAME,
+                          "version": future}).encode()
         path.write_bytes(MAGIC + len(raw).to_bytes(8, "little") + raw)
-        with pytest.raises(ValueError, match="version 2"):
+        with pytest.raises(ValueError, match=f"version {future}"):
             read_header(path)
 
     def test_truncated_file_is_actionable(self, tmp_path, toy_pathloss):
