@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "engine and run every candidate through "
                                "the full Formula 1-4 pass (ablation "
                                "baseline)")
+    mitigate.add_argument("--no-roi", action="store_true",
+                          help="disable sparse region-of-influence "
+                               "windows and score every candidate over "
+                               "the full grid (results are bitwise "
+                               "identical either way; ablation "
+                               "baseline)")
     mitigate.add_argument("--faults", metavar="PLAN.json", default=None,
                           help="inject the failure scenario described by "
                                "a magus.fault-plan/1 file and execute the "
@@ -136,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     pack.add_argument("--tilts", type=int, default=None, metavar="K",
                       help="pack only the highest K tilt settings of the "
                            "ladder (--grid-cells mode; default: all)")
+    pack.add_argument("--clip-floor-db", default=None, metavar="DB",
+                      help="zero linear gains below this dB floor at "
+                           "the float32 quantization point so sector "
+                           "footprints (and the v3 ROI boxes) are "
+                           "genuinely sparse; 'none' disables "
+                           "clipping (default: -150)")
     pack.add_argument("--no-checksums", action="store_true",
                       help="skip the per-section CRC32C checksums "
                            "(writes a v2 file whose sections simply "
@@ -378,7 +390,8 @@ def _mitigate_run(args, sink: _ObsSink, fault_plan, injector,
         # batches to parallelize — so it always stays serial.
         area = build_area(AreaType(args.area_type), seed=args.seed,
                           evaluation_strategy=strategy,
-                          plossdb=args.plossdb)
+                          plossdb=args.plossdb,
+                          roi=not args.no_roi)
     if args.plossdb:
         print(f"path-loss database memory-mapped from {args.plossdb} "
               f"({area.pathloss.packed_store.nbytes / 1e6:.0f} MB packed, "
@@ -391,7 +404,8 @@ def _mitigate_run(args, sink: _ObsSink, fault_plan, injector,
                             evaluation_strategy=magus_strategy,
                             workers=args.workers,
                             chunk_deadline_s=args.chunk_deadline_s,
-                            chaos=chaos)
+                            chaos=chaos,
+                            roi=False if args.no_roi else None)
     status = 0
     # Everything below runs under the close() guarantee: whatever path
     # exits — including the structured aborts with exit codes 3/4 —
@@ -454,6 +468,7 @@ def _mitigate_run(args, sink: _ObsSink, fault_plan, injector,
                   "scenario": args.scenario, "tuning": args.tuning,
                   "evaluation_strategy": magus_strategy,
                   "workers": args.workers,
+                  "roi": not args.no_roi,
                   "fault_plan": args.faults,
                   "chaos_plan": args.chaos})
         _emit_report(report, args, sink)
@@ -516,11 +531,24 @@ def _cmd_calendar(args, sink: _ObsSink) -> int:
 
 
 def _cmd_pack(args, sink: _ObsSink) -> int:
+    from .model.pathloss import DEFAULT_CLIP_FLOOR_DB
     from .synthetic.market import build_packed_market, pack_area_database
 
     def progress(done: int, total: int) -> None:
         if done == total or done % 50 == 0:
             print(f"  packed {done}/{total} sectors", file=sys.stderr)
+
+    if args.clip_floor_db is None:
+        clip_floor_db = DEFAULT_CLIP_FLOOR_DB
+    elif args.clip_floor_db.strip().lower() == "none":
+        clip_floor_db = None
+    else:
+        try:
+            clip_floor_db = float(args.clip_floor_db)
+        except ValueError:
+            print(f"--clip-floor-db must be a dB value or 'none', got "
+                  f"{args.clip_floor_db!r}", file=sys.stderr)
+            return 2
 
     if args.grid_cells:
         from .synthetic.placement import PlacementParameters
@@ -541,7 +569,8 @@ def _cmd_pack(args, sink: _ObsSink) -> int:
             args.out, seed=args.seed, area_type=AreaType(args.area_type),
             grid_cells=args.grid_cells, cell_size_m=args.cell_size,
             tilt_values=tilt_values, tilt_model=args.tilt_model,
-            progress=progress, checksums=not args.no_checksums)
+            progress=progress, checksums=not args.no_checksums,
+            clip_floor_db=clip_floor_db)
     else:
         if args.tilts is not None:
             print("--tilts requires --grid-cells (paper-scale mode)",
@@ -550,7 +579,8 @@ def _cmd_pack(args, sink: _ObsSink) -> int:
         header = pack_area_database(
             args.out, AreaType(args.area_type), seed=args.seed,
             tilt_model=args.tilt_model, progress=progress,
-            checksums=not args.no_checksums)
+            checksums=not args.no_checksums,
+            clip_floor_db=clip_floor_db)
     print(f"packed {header['n_sectors']} sectors x {header['n_tilts']} "
           f"tilts x {header['grid_shape'][0]}x{header['grid_shape'][1]} "
           f"grids -> {args.out} "

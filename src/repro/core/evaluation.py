@@ -44,10 +44,11 @@ make both a no-op.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..model import roi as _roi
 from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration
 from ..model.snapshot import NetworkState
@@ -74,7 +75,8 @@ class Evaluator:
                  workers: Optional[int] = None,
                  min_parallel_batch: Optional[int] = None,
                  chunk_deadline_s: Optional[float] = None,
-                 chaos=None) -> None:
+                 chaos=None,
+                 roi: Optional[bool] = None) -> None:
         if ue_density.shape != engine.grid.shape:
             raise ValueError("UE raster does not match engine grid")
         if cache_size < 0:
@@ -84,6 +86,11 @@ class Evaluator:
                 f"unknown evaluation strategy {strategy!r}; "
                 f"expected one of {EVALUATION_STRATEGIES}")
         self.engine = engine
+        # ``None`` keeps the engine's default (on); an explicit bool
+        # flips the engine-level knob so delta *and* batch windows
+        # follow one switch (the CLI's --no-roi lands here).
+        if roi is not None:
+            engine.roi = bool(roi)
         self.ue_density = np.asarray(ue_density, dtype=float)
         self.utility = (get_utility(utility)
                         if isinstance(utility, str) else utility)
@@ -113,6 +120,11 @@ class Evaluator:
         # search pattern of one incumbent probed by many one-sector
         # trials, and chains of one-sector moves (gradual compensation).
         self._incumbents: List[DeltaIncumbent] = []
+        # Cached ROI baselines, keyed like the anchors they derive
+        # from — the weighted per-UE raster in each is the expensive
+        # part worth keeping across score_candidates calls.
+        self._roi_baselines: "OrderedDict[tuple, _roi.RoiBaseline]" = \
+            OrderedDict()
         # Always-on distinct-evaluation counter; searches meter their
         # spent cost against it via :meth:`cost_meter`.
         self._eval_counter = Counter("evaluator.model_evaluations")
@@ -209,27 +221,44 @@ class Evaluator:
                 remaining.append(i)
         if remaining and self._batchable():
             for incumbent in list(self._incumbents):
-                group = [i for i in remaining
-                         if self.engine.single_sector_change(
-                             incumbent, configs[i]) is not None]
+                group: List[int] = []
+                changed_map: Dict[int, int] = {}
+                for i in remaining:
+                    sector = self.engine.single_sector_change(
+                        incumbent, configs[i])
+                    if sector is not None:
+                        group.append(i)
+                        changed_map[i] = sector
                 if not group:
                     continue
-                parallel = self._score_parallel(
-                    incumbent, [configs[i] for i in group])
-                if parallel is not None:
-                    for i, value in zip(group, parallel):
+                # Windowed ROI scoring answers whatever it can (the
+                # footprint-resolvable candidates); the rest of the
+                # group stays on the dense batch path.  Either way the
+                # values are bitwise identical.
+                roi_scores = self._score_roi(incumbent, configs, group,
+                                             changed_map)
+                if roi_scores:
+                    for i, value in roi_scores.items():
                         scores[i] = value
-                else:
-                    for start in range(0, len(group), _BATCH_CHUNK):
-                        chunk = group[start:start + _BATCH_CHUNK]
-                        batch = self.engine.evaluate_batch(
-                            incumbent, [configs[i] for i in chunk],
-                            self.ue_density)
-                        if batch is None:  # defensive; eligibility checked
-                            break
-                        for i, value in zip(chunk,
-                                            self._batch_utilities(batch)):
+                dense_group = [i for i in group if scores[i] is None]
+                if dense_group:
+                    parallel = self._score_parallel(
+                        incumbent, [configs[i] for i in dense_group])
+                    if parallel is not None:
+                        for i, value in zip(dense_group, parallel):
                             scores[i] = value
+                    else:
+                        for start in range(0, len(dense_group),
+                                           _BATCH_CHUNK):
+                            chunk = dense_group[start:start + _BATCH_CHUNK]
+                            batch = self.engine.evaluate_batch(
+                                incumbent, [configs[i] for i in chunk],
+                                self.ue_density)
+                            if batch is None:  # defensive; checked above
+                                break
+                            for i, value in zip(
+                                    chunk, self._batch_utilities(batch)):
+                                scores[i] = value
                 scored = [i for i in group if scores[i] is not None]
                 self._eval_counter.inc(len(scored))
                 registry.counter(
@@ -259,6 +288,86 @@ class Evaluator:
         if self._service is None:
             return None
         return self._service.score_batch(incumbent, configs)
+
+    def _score_roi(self, incumbent: DeltaIncumbent,
+                   configs: Sequence[Configuration],
+                   group: Sequence[int],
+                   changed_map: Optional[Dict[int, int]] = None
+                   ) -> Optional[dict]:
+        """Score ``group``'s ROI-eligible members through their windows.
+
+        Returns ``{index: utility}`` for the candidates whose footprint
+        window resolved (possibly empty), or ``None`` when ROI is off
+        or no baseline exists — every unanswered index falls through to
+        the dense batch path with identical results.
+        ``magus.engine.roi_fallbacks`` counts candidates that needed
+        the dense path while ROI was on.
+        """
+        engine = self.engine
+        if not engine.roi:
+            return None
+        registry = get_registry()
+        baseline = self._roi_baseline(incumbent)
+        if baseline is None:
+            registry.counter(
+                "magus.engine.roi_fallbacks").inc(len(group))
+            return None
+        items = []
+        fallbacks = 0
+        for i in group:
+            changed = (changed_map.get(i) if changed_map is not None
+                       else engine.single_sector_change(
+                           incumbent, configs[i]))
+            box = (None if changed is None
+                   else engine.roi_window(incumbent, configs[i], changed))
+            if box is None:
+                fallbacks += 1
+                continue
+            items.append((i, changed, box))
+        if fallbacks:
+            registry.counter(
+                "magus.engine.roi_fallbacks").inc(fallbacks)
+        out: dict = {}
+        if not items:
+            return out
+        if self._service is not None:
+            values = self._service.score_batch_roi(
+                baseline, [configs[i] for i, _, _ in items],
+                [(changed, box) for _, changed, box in items])
+            if values is not None:
+                for (i, _, _), value in zip(items, values):
+                    out[i] = value
+                return out      # service did the engine accounting
+        cells = 0
+        for i, changed, box in items:
+            out[i] = _roi.score_candidate(
+                engine, baseline, configs[i], changed, box,
+                self.ue_density, self.utility)
+            cells += _roi.box_area(box)
+        k = len(items)
+        engine._eval_counter.inc(k)
+        registry.counter("magus.engine.evaluations").inc(k)
+        registry.counter("magus.engine.roi_evaluations").inc(k)
+        registry.counter("magus.engine.roi_cells").inc(cells)
+        return out
+
+    def _roi_baseline(self,
+                      incumbent: DeltaIncumbent
+                      ) -> Optional[_roi.RoiBaseline]:
+        key = (incumbent.config, incumbent.epoch)
+        hit = self._roi_baselines.get(key)
+        if hit is not None:
+            self._roi_baselines.move_to_end(key)
+            return hit
+        baseline = _roi.RoiBaseline.from_incumbent(
+            incumbent, self.utility, self.ue_density)
+        if baseline is None:
+            return None
+        self._roi_baselines[key] = baseline
+        # Mirror the two-anchor incumbent ring.
+        while len(self._roi_baselines) > 2:
+            self._roi_baselines.popitem(last=False)
+        return baseline
 
     def _batch_utilities(self, batch) -> np.ndarray:
         values = self.utility.per_ue(batch.rate_bps)      # (K, H, W)

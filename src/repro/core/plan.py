@@ -101,16 +101,21 @@ def recovery_ratio(f_before: float, f_upgrade: float, f_after: float) -> float:
 
     If the upgrade causes no degradation at all the ratio is defined as
     1.0 (there was nothing to recover and nothing was lost).  Finite
-    inputs always yield a finite ratio: a quotient that overflows to
-    infinity (a huge numerator over a tiny degradation) is clamped to
-    the largest representable float with the quotient's sign.
+    inputs always yield a finite ratio: when either difference
+    overflows, the quotient is re-derived at half scale (where finite
+    inputs cannot overflow), and a result that is still infinite (a
+    huge numerator over a vanishing degradation) is clamped to the
+    largest representable float with the quotient's sign.
     """
     degradation = f_before - f_upgrade
     if degradation <= 0:
         return 1.0
     ratio = (f_after - f_upgrade) / degradation
-    if math.isinf(ratio) and math.isfinite(f_after - f_upgrade):
-        return math.copysign(sys.float_info.max, ratio)
+    if not math.isfinite(ratio):
+        ratio = ((f_after / 2.0 - f_upgrade / 2.0)
+                 / (f_before / 2.0 - f_upgrade / 2.0))
+        if math.isinf(ratio):
+            ratio = math.copysign(sys.float_info.max, ratio)
     return ratio
 
 

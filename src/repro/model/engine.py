@@ -21,6 +21,14 @@ incremental evaluation sit on top of the canonical pass:
 * **batched candidate scoring** — :meth:`evaluate_batch` stacks K
   single-sector neighbors along a batch axis and scores them in one
   vectorized pass against the incumbent.
+* **sparse region-of-influence windows** — with footprint boxes
+  available (``clip_floor_db`` zeroed sub-floor gains at packing, see
+  :meth:`PathLossDatabase.footprint`), :meth:`evaluate_delta` confines
+  the serving repair and the transcendental rasters to the union of
+  the changed sector's old and new footprints (:meth:`roi_window`),
+  and :func:`repro.model.roi.score_candidate` scores batch candidates
+  at O(|ROI|) transcendental cost.  Both stay bitwise identical to the
+  dense paths; ``roi=False`` (CLI ``--no-roi``) disables them.
 
 The searches reach these through :class:`~repro.core.evaluation.Evaluator`,
 which owns strategy selection and fallback accounting.
@@ -37,6 +45,7 @@ from ..obs import Counter, get_registry
 from .linkrate import LinkAdaptation
 from .network import Configuration
 from .pathloss import PathLossDatabase
+from .roi import EMPTY_BOX, Box, box_area, box_union
 from .snapshot import NO_SERVICE, NetworkState
 
 __all__ = ["AnalysisEngine", "BatchResult", "DeltaIncumbent",
@@ -53,11 +62,15 @@ class DeltaIncumbent:
     Everything a single-sector re-evaluation needs: the per-sector mW
     planes, the total-power plane, and the (pre-mask) serving argmax
     with its winning values.  ``planes`` is owned by this object and
-    mutated never — delta evaluations copy it.
+    mutated never — delta evaluations copy it.  ``state`` is the
+    finished :class:`NetworkState` this incumbent was evaluated into
+    (set by ``_finish``); windowed ROI paths copy its rasters and
+    recompute only the window.  Worker-attached incumbents carry
+    ``None`` — they never ran ``_finish`` — and fall back to dense.
     """
 
     __slots__ = ("config", "planes", "total_mw", "raw_serving",
-                 "best_mw", "epoch", "_runner")
+                 "best_mw", "epoch", "state", "_runner")
 
     def __init__(self, config: Configuration, planes: np.ndarray,
                  total_mw: np.ndarray, raw_serving: np.ndarray,
@@ -68,6 +81,7 @@ class DeltaIncumbent:
         self.raw_serving = raw_serving
         self.best_mw = best_mw
         self.epoch = epoch
+        self.state: Optional[NetworkState] = None
         self._runner: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def runner_up(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -147,16 +161,29 @@ class AnalysisEngine:
         this are treated as unservable regardless of SINR; planning
         tools apply the same RSRP-style floor (and the paper's Figure 4
         black pixels use "receive power below a threshold").
+    roi:
+        Use sparse region-of-influence windows where footprint boxes
+        are available (default on — a no-op, falling back to dense,
+        when the backend has no ``clip_floor_db``).  Results are
+        bitwise identical either way.
+    roi_max_fraction:
+        Dense fallback threshold: windows covering more than this
+        fraction of the grid are scored densely (a near-global window
+        pays the windowing overhead without the savings).
     """
 
     def __init__(self, pathloss: PathLossDatabase,
                  link: Optional[LinkAdaptation] = None,
                  noise_dbm: float = DEFAULT_NOISE_DBM,
-                 min_rp_dbm: float = -120.0) -> None:
+                 min_rp_dbm: float = -120.0,
+                 roi: bool = True,
+                 roi_max_fraction: float = 0.5) -> None:
         self.pathloss = pathloss
         self.link = link or LinkAdaptation()
         self.noise_dbm = noise_dbm
         self.min_rp_dbm = min_rp_dbm
+        self.roi = roi
+        self.roi_max_fraction = roi_max_fraction
         self.grid = pathloss.grid
         # Always-on per-engine evaluation counter (ablation benches read
         # it through the ``evaluations`` property); the active metrics
@@ -237,8 +264,12 @@ class AnalysisEngine:
         grids from the old winner or release the grids it served).  The
         total-power plane is re-summed over the swapped plane stack —
         *not* updated incrementally — so every derived raster is
-        bitwise identical to :meth:`evaluate`.  Returns ``None`` when
-        the change is not a single-sector one (caller falls back).
+        bitwise identical to :meth:`evaluate`.  With :attr:`roi` on and
+        a footprint window available, the repair, the re-sum and the
+        transcendental rasters are confined to the window (still
+        bitwise identical — outside it the changed plane is exactly
+        zero before and after).  Returns ``None`` when the change is
+        not a single-sector one (caller falls back).
         """
         changed = self.single_sector_change(incumbent, config)
         if changed is None:
@@ -249,10 +280,24 @@ class AnalysisEngine:
         registry.counter("magus.engine.delta_evaluations").inc()
         with registry.timer("magus.engine.evaluate").time():
             self._validate(config, ue_density)
+            box = None
+            if self.roi:
+                box = self.roi_window(incumbent, config, changed)
+                if box is not None and incumbent.state is None:
+                    box = None
+                if box is None:
+                    registry.counter("magus.engine.roi_fallbacks").inc()
+                else:
+                    registry.counter("magus.engine.roi_evaluations").inc()
+                    registry.counter(
+                        "magus.engine.roi_cells").inc(box_area(box))
+            if box is not None:
+                return self._evaluate_delta_windowed(
+                    incumbent, config, changed, box, ue_density)
             new_row = self._sector_plane_mw(config, changed)
             planes = incumbent.planes.copy()
             planes[changed] = new_row
-            total_mw = planes.sum(axis=0)
+            total_mw = _accumulate_planes(planes)
 
             serving0 = incumbent.raw_serving
             best0 = incumbent.best_mw
@@ -275,6 +320,90 @@ class AnalysisEngine:
                 config, planes, total_mw, raw_serving, best_mw,
                 self.pathloss.cache_epoch)
             return self._finish(new_incumbent, ue_density), new_incumbent
+
+    def _evaluate_delta_windowed(
+            self, incumbent: DeltaIncumbent, config: Configuration,
+            changed: int, box: Box, ue_density: np.ndarray
+            ) -> Tuple[NetworkState, DeltaIncumbent]:
+        """The windowed delta body (bitwise identical to the dense one).
+
+        Outside ``box`` the changed sector's plane is exactly zero in
+        both configurations, so the stack is elementwise unchanged
+        there: the incumbent's total can be reused outside the window
+        (the sequential accumulation order of
+        :func:`_accumulate_planes` makes the total decomposable), the
+        wins test is provably a no-op, and cells of the restricted
+        argmax mask outside the box are all-zero columns whose argmax
+        reproduces their current serving entry.
+        """
+        r0, r1, c0, c1 = box
+        win = (slice(r0, r1), slice(c0, c1))
+        new_row = np.zeros(self.grid.shape, dtype=self.pathloss.plane_dtype)
+        new_row[win] = self._sector_plane_mw_window(config, changed, box)
+        planes = incumbent.planes.copy()
+        planes[changed] = new_row
+        total_mw = incumbent.total_mw.copy()
+        total_mw[win] = _accumulate_planes(planes, box)
+
+        serving0 = incumbent.raw_serving
+        best0 = incumbent.best_mw
+        raw_serving = serving0.copy()
+        best_mw = best0.copy()
+        nr, s0, b0 = new_row[win], serving0[win], best0[win]
+        wins = (nr > b0) | ((nr == b0) & (changed < s0))
+        raw_w = np.where(wins, np.int32(changed), s0)
+        best_w = np.where(wins, nr, b0)
+        mask = s0 == changed
+        if mask.any():
+            sub = planes[:, r0:r1, c0:c1][:, mask]
+            sub_arg = sub.argmax(axis=0)
+            raw_w[mask] = sub_arg.astype(np.int32)
+            best_w[mask] = sub[sub_arg, np.arange(sub.shape[1])]
+        raw_serving[win] = raw_w
+        best_mw[win] = best_w
+
+        new_incumbent = DeltaIncumbent(
+            config, planes, total_mw, raw_serving, best_mw,
+            self.pathloss.cache_epoch)
+        state = self._finish_windowed(new_incumbent, incumbent.state,
+                                      box, ue_density)
+        return state, new_incumbent
+
+    # ------------------------------------------------------------------
+    # region-of-influence windows
+    # ------------------------------------------------------------------
+    def roi_window(self, incumbent: DeltaIncumbent,
+                   config: Configuration,
+                   changed: int) -> Optional[Box]:
+        """The changed sector's region of influence, if exactly known.
+
+        The union of the sector's footprint under the incumbent and
+        candidate settings — every cell whose received power can move.
+        ``None`` (dense fallback) when either footprint is unknown
+        (no clip floor, rotated pattern) or the union exceeds
+        :attr:`roi_max_fraction` of the grid.
+        """
+        old_box = self._setting_footprint(
+            changed, incumbent.config.settings[changed])
+        if old_box is None:
+            return None
+        new_box = self._setting_footprint(changed,
+                                          config.settings[changed])
+        if new_box is None:
+            return None
+        box = box_union(old_box, new_box)
+        rows, cols = self.grid.shape
+        if box_area(box) > self.roi_max_fraction * rows * cols:
+            return None
+        return box
+
+    def _setting_footprint(self, sector_id: int,
+                           setting) -> Optional[Box]:
+        """One setting's footprint; off-air sectors radiate nowhere."""
+        if not setting.active:
+            return EMPTY_BOX
+        return self.pathloss.footprint(sector_id, setting.tilt_deg,
+                                       setting.azimuth_offset_deg)
 
     # ------------------------------------------------------------------
     # batched candidate scoring
@@ -356,7 +485,7 @@ class AnalysisEngine:
     def _prepare(self, config: Configuration) -> DeltaIncumbent:
         """Formulae 1-2 in the linear domain: planes, total, serving."""
         planes = self._planes_mw(config)
-        total_mw = planes.sum(axis=0)
+        total_mw = _accumulate_planes(planes)
         raw_serving = planes.argmax(axis=0).astype(np.int32)
         best_mw = np.take_along_axis(planes, raw_serving[None], axis=0)[0]
         return DeltaIncumbent(config, planes, total_mw, raw_serving,
@@ -378,21 +507,65 @@ class AnalysisEngine:
         n_ue = self._shared_load(serving, ue_density)
         with np.errstate(divide="ignore", invalid="ignore"):
             rate = np.where(n_ue > 0, rmax / np.maximum(n_ue, 1e-12), rmax)
-        return NetworkState(
+        state = NetworkState(
             grid=self.grid, config=incumbent.config, serving=serving,
             rp_best_dbm=rp_best_dbm, interference_dbm=interference_dbm,
             sinr_db=sinr_db, max_rate_bps=rmax, n_ue=n_ue,
             rate_bps=rate, ue_density=np.asarray(ue_density, dtype=float),
             raw_serving=raw_serving)
+        incumbent.state = state
+        return state
+
+    def _finish_windowed(self, incumbent: DeltaIncumbent,
+                         state0: NetworkState, box: Box,
+                         ue_density: np.ndarray) -> NetworkState:
+        """Formulae 2-4 recomputed only inside ``box``.
+
+        The dB rasters and the single-user rate are elementwise in
+        ``total_mw``/``best_mw``, which are untouched outside the box,
+        so the previous state's values are bitwise reusable there.
+        Loads and shared rates couple globally through Formula 3 and
+        are rebuilt over the whole grid (cheap, non-transcendental).
+        """
+        r0, r1, c0, c1 = box
+        win = (slice(r0, r1), slice(c0, c1))
+        total_mw = incumbent.total_mw
+        best_mw = incumbent.best_mw
+        raw_serving = incumbent.raw_serving
+        sinr_db = state0.sinr_db.copy()
+        rp_best_dbm = state0.rp_best_dbm.copy()
+        interference_dbm = state0.interference_dbm.copy()
+        sinr_w, rp_w, itf_w = self._radio_rasters(total_mw[win],
+                                                  best_mw[win])
+        sinr_db[win] = sinr_w
+        rp_best_dbm[win] = rp_w
+        interference_dbm[win] = itf_w
+        rmax = state0.max_rate_bps.copy()
+        rmax_w = self.link.max_rate_bps(sinr_w)
+        rmax_w = np.where(
+            best_mw[win] >= _dbm_to_mw_scalar(self.min_rp_dbm),
+            rmax_w, 0.0)
+        rmax[win] = rmax_w
+        serving = state0.serving.copy()
+        serving[win] = np.where(rmax_w > 0.0, raw_serving[win],
+                                NO_SERVICE)
+        n_ue = self._shared_load(serving, ue_density)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rate = np.where(n_ue > 0, rmax / np.maximum(n_ue, 1e-12), rmax)
+        state = NetworkState(
+            grid=self.grid, config=incumbent.config, serving=serving,
+            rp_best_dbm=rp_best_dbm, interference_dbm=interference_dbm,
+            sinr_db=sinr_db, max_rate_bps=rmax, n_ue=n_ue,
+            rate_bps=rate, ue_density=np.asarray(ue_density, dtype=float),
+            raw_serving=raw_serving)
+        incumbent.state = state
+        return state
 
     def _radio_rasters(self, total_mw: np.ndarray, best_mw: np.ndarray):
         """Formula 2 rasters (dB domain) from linear power planes."""
-        noise_mw = _dbm_to_mw_scalar(self.noise_dbm)
+        sinr_db = self._sinr_raster(total_mw, best_mw)
         interference_mw = np.maximum(total_mw - best_mw, 0.0)
         with np.errstate(divide="ignore"):
-            sinr_db = 10.0 * np.log10(
-                np.maximum(best_mw, 1e-300)
-                / (noise_mw + interference_mw))
             rp_best_dbm = np.where(
                 best_mw > 0.0,
                 10.0 * np.log10(np.maximum(best_mw, 1e-300)),
@@ -401,9 +574,21 @@ class AnalysisEngine:
                 interference_mw > 0,
                 10.0 * np.log10(np.maximum(interference_mw, 1e-300)),
                 -np.inf)
-        # Grids where no sector radiates at all (everything off-air).
-        sinr_db = np.where(best_mw > 0.0, sinr_db, -np.inf)
         return sinr_db, rp_best_dbm, interference_dbm
+
+    def _sinr_raster(self, total_mw: np.ndarray,
+                     best_mw: np.ndarray) -> np.ndarray:
+        """Formula 2's SINR alone — the only dB raster batch scoring
+        needs, split out so ROI windows skip the other two log10
+        passes."""
+        noise_mw = _dbm_to_mw_scalar(self.noise_dbm)
+        interference_mw = np.maximum(total_mw - best_mw, 0.0)
+        with np.errstate(divide="ignore"):
+            sinr_db = 10.0 * np.log10(
+                np.maximum(best_mw, 1e-300)
+                / (noise_mw + interference_mw))
+        # Grids where no sector radiates at all (everything off-air).
+        return np.where(best_mw > 0.0, sinr_db, -np.inf)
 
     def _planes_mw(self, config: Configuration) -> np.ndarray:
         """Formula 1 per sector, linear domain:
@@ -443,6 +628,25 @@ class AnalysisEngine:
                                                      copy=False)
         return gain_mw * factors[sector_id]
 
+    def _sector_plane_mw_window(self, config: Configuration,
+                                sector_id: int, box: Box) -> np.ndarray:
+        """One sector's plane restricted to ``box``.
+
+        Bitwise identical to ``_sector_plane_mw(...)[box]``: the same
+        cached gain row is sliced before the same scalar multiply, and
+        an elementwise product commutes with slicing.
+        """
+        r0, r1, c0, c1 = box
+        setting = config.settings[sector_id]
+        if not setting.active:
+            return np.zeros((r1 - r0, c1 - c0),
+                            dtype=self.pathloss.plane_dtype)
+        gain_mw = self.pathloss.gain_matrix_mw(
+            sector_id, setting.tilt_deg, setting.azimuth_offset_deg)
+        factors = self._power_factors(config).astype(gain_mw.dtype,
+                                                     copy=False)
+        return gain_mw[r0:r1, c0:c1] * factors[sector_id]
+
     @staticmethod
     def _power_factors(config: Configuration) -> np.ndarray:
         with np.errstate(over="ignore"):
@@ -471,8 +675,17 @@ class AnalysisEngine:
     @staticmethod
     def _shared_load(serving: np.ndarray, ue_density: np.ndarray) -> np.ndarray:
         """Formula 3: ``N(g)`` = UEs attached to grid g's serving sector."""
-        n_ue = np.zeros(serving.shape)
         served = serving >= 0
+        if served.all():
+            # Fast path: every cell served, so the masked gather is
+            # the identity.  bincount visits the same weights in the
+            # same flat order, so the loads (and the gathered n_ue)
+            # are bitwise identical to the masked branch.
+            flat_serving = serving.ravel()
+            loads = np.bincount(flat_serving,
+                                weights=ue_density.ravel())
+            return loads[flat_serving].reshape(serving.shape)
+        n_ue = np.zeros(serving.shape)
         if not served.any():
             return n_ue
         flat_serving = serving[served]
@@ -498,6 +711,34 @@ class AnalysisEngine:
                             minlength=k * n_sectors)
         n_ue[served] = loads[flat_ids]
         return n_ue
+
+
+def _accumulate_planes(planes: np.ndarray,
+                       box: Optional[Box] = None) -> np.ndarray:
+    """Total received power: the plane stack summed over sectors.
+
+    Explicitly sequential (``total += planes[s]`` in sector order)
+    rather than ``planes.sum(axis=0)``: NumPy's reduction order over a
+    strided axis depends on the inner extent, so a *sliced* stack sum
+    is not bitwise-stable against the full-grid one (observed on
+    width-1 windows).  A fixed accumulation order makes the total
+    decomposable by construction — summing inside a window slice
+    yields exactly the full total's window — which is what lets the
+    windowed delta reuse the incumbent's total outside the ROI.  On
+    any grid with more than one cell NumPy's own axis-0 reduction is
+    element-sequential too, so this matches the historical
+    ``planes.sum(axis=0)`` bit for bit (planes are non-negative, so
+    starting from +0.0 is exact).
+    """
+    if box is None:
+        view = planes
+    else:
+        r0, r1, c0, c1 = box
+        view = planes[:, r0:r1, c0:c1]
+    total = np.zeros(view.shape[1:], dtype=planes.dtype)
+    for s in range(view.shape[0]):
+        np.add(total, view[s], out=total)
+    return total
 
 
 def _dbm_to_mw_scalar(dbm: float) -> float:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, Literal, Optional, Sequence
+from typing import TYPE_CHECKING, Hashable, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,13 +42,55 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard
     from .plossdb import PackedGainStore
 
 __all__ = ["LRUCache", "PathLossDatabase", "TiltModelName",
-           "compute_sector_raster", "exact_gain_db", "shared_tilt_profile"]
+           "compute_sector_raster", "exact_gain_db", "shared_tilt_profile",
+           "DEFAULT_CLIP_FLOOR_DB", "clip_gains_mw", "plane_footprint"]
 
 TiltModelName = Literal["exact", "shared-delta"]
 
 #: Default shadowing statistics (urban macro, Gudmundson).
 DEFAULT_SHADOWING_SIGMA_DB = 6.0
 DEFAULT_SHADOWING_CORR_M = 150.0
+
+#: Linear-domain gains below this (dB) are zeroed at the quantization
+#: point so per-sector footprints are exactly sparse.  −150 dB gain at
+#: the hottest catalogue power (46 dBm) is −104 dBm received — 7 dB
+#: under the thermal noise floor, so even interference-free the SINR
+#: sits below the bottom CQI threshold (−6.7 dB) and the cell was
+#: unservable by that sector anyway; as an interferer it is noise-
+#: dominated, the regime the PPP coverage analysis (PAPERS.md) shows
+#: contributes negligibly.  ``None`` opts out (no clipping, dense
+#: footprints).
+DEFAULT_CLIP_FLOOR_DB = -150.0
+
+
+def clip_gains_mw(planes: np.ndarray,
+                  clip_floor_db: Optional[float]) -> np.ndarray:
+    """Zero every gain below the clip floor, in place.
+
+    Applied immediately after the f64→mW quantization (the float32
+    cast for packed planes, the ``astype(plane_dtype)`` of the dict
+    fallback) and nowhere else, so every evaluation path sees the same
+    clipped values and cells outside a footprint carry *exactly* 0.0.
+    The comparison is strict (``<``): a gain exactly at the floor
+    survives.
+    """
+    if clip_floor_db is not None:
+        planes[planes < 10.0 ** (float(clip_floor_db) / 10.0)] = 0.0
+    return planes
+
+
+def plane_footprint(plane: np.ndarray) -> tuple:
+    """Tight bounding box of a plane's nonzero cells.
+
+    Half-open ``(row0, row1, col0, col1)``; an all-zero plane yields
+    the empty box ``(0, 0, 0, 0)``.
+    """
+    rows = np.flatnonzero(plane.any(axis=1))
+    if rows.size == 0:
+        return (0, 0, 0, 0)
+    cols = np.flatnonzero(plane.any(axis=0))
+    return (int(rows[0]), int(rows[-1]) + 1,
+            int(cols[0]), int(cols[-1]) + 1)
 
 #: Default bound for the gain-tensor / mW-plane caches.  Tilt search
 #: alternates between a handful of assignments (incumbent plus the
@@ -163,7 +205,8 @@ class PathLossDatabase:
     def __init__(self, grid: GridSpec, network: CellularNetwork,
                  rasters: Sequence[_SectorRaster],
                  tilt_model: TiltModelName = "exact",
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 clip_floor_db: Optional[float] = None) -> None:
         if len(rasters) != network.n_sectors:
             raise ValueError("one raster per sector required")
         if tilt_model not in ("exact", "shared-delta"):
@@ -172,6 +215,13 @@ class PathLossDatabase:
         self.network = network
         self.tilt_model: TiltModelName = tilt_model
         self._rasters = list(rasters)
+        #: Linear-domain gains below this (dB) quantize to exactly 0,
+        #: making per-sector footprints sparse (the ROI layer's
+        #: exactness hinge — see ``repro.model.plossdb``).  ``None``
+        #: disables clipping; footprints then cover whatever the
+        #: unclipped planes reach.
+        self.clip_floor_db = (None if clip_floor_db is None
+                              else float(clip_floor_db))
         self._tensor_cache = LRUCache(DEFAULT_TENSOR_CACHE_SIZE)
         self._tensor_mw_cache = LRUCache(DEFAULT_TENSOR_CACHE_SIZE)
         # Per-(sector, tilt, offset) linear-domain rows: lets a
@@ -179,6 +229,11 @@ class PathLossDatabase:
         self._row_mw_cache = LRUCache(
             DEFAULT_TENSOR_CACHE_SIZE * max(network.n_sectors, 1))
         self._shared_profiles = LRUCache(DEFAULT_PROFILE_CACHE_SIZE)
+        # Per-(sector, tilt) nonzero bounding boxes for the dict
+        # backend (packed stores carry their own table).  Boxes are 4
+        # ints; a generous bound keeps whole tilt ladders resident.
+        self._footprint_cache = LRUCache(
+            DEFAULT_PROFILE_CACHE_SIZE * max(network.n_sectors, 1))
         #: Optional packed tilt-major mW tensor (:mod:`repro.model.plossdb`).
         #: When attached, on-ladder queries are index-and-view operations
         #: and every plane this database emits is float32.
@@ -194,14 +249,18 @@ class PathLossDatabase:
         if validate:
             self.validate()
 
-    def validate(self) -> None:
+    def validate(self) -> Optional[dict]:
         """Reject NaN/inf raster data with an actionable error.
 
         Corrupt Atoll exports (the operational reality Section 4.2's
         clean-feed assumption hides) must fail here, naming the bad
         sectors, instead of silently propagating NaN into SINR.  With a
         packed store attached the precomputed tensor is scanned too —
-        vectorized, one ``isfinite`` reduction per sector block.
+        vectorized, one ``isfinite`` reduction per sector block — and
+        the clean result includes an ROI sparsity report: the fraction
+        of the grid inside each sector's footprint box (averaged over
+        its tilt ladder), the quantity the windowed engine's speedup
+        scales with.  Returns ``None`` for dict-backed databases.
         """
         bad = []
         for sid, raster in enumerate(self._rasters):
@@ -217,6 +276,20 @@ class PathLossDatabase:
                 f"path-loss database contains NaN/inf entries for "
                 f"sectors {bad}; repair or re-export the matrices "
                 f"before evaluation")
+        if self._packed is None:
+            return None
+        boxes = self._packed.footprints().astype(np.int64)
+        H, W = self.grid.shape
+        areas = ((boxes[:, :, 1] - boxes[:, :, 0])
+                 * (boxes[:, :, 3] - boxes[:, :, 2]))
+        ratios = areas / float(H * W)
+        per_sector = ratios.mean(axis=1)
+        return {
+            "clip_floor_db": self._packed.clip_floor_db,
+            "mean_footprint_ratio": float(ratios.mean()),
+            "max_footprint_ratio": float(ratios.max()),
+            "per_sector_footprint_ratio": [float(r) for r in per_sector],
+        }
 
     def invalidate_caches(self) -> None:
         """Drop memoized tensors/profiles after in-place raster edits.
@@ -232,6 +305,7 @@ class PathLossDatabase:
         self._tensor_mw_cache.clear()
         self._row_mw_cache.clear()
         self._shared_profiles.clear()
+        self._footprint_cache.clear()
         self._packed = None
         self.cache_epoch += 1
 
@@ -256,6 +330,13 @@ class PathLossDatabase:
                 f"grid {self.grid.shape}")
         self._tensor_mw_cache.clear()
         self._row_mw_cache.clear()
+        # Boxes cached against float64 dict planes no longer describe
+        # the float32 rows this database now emits.
+        self._footprint_cache.clear()
+        if self.clip_floor_db is None and store.clip_floor_db is not None:
+            # Adopt the floor the planes were packed under so off-ladder
+            # fallback rows clip the same way the stored rows did.
+            self.clip_floor_db = store.clip_floor_db
         self._packed = store
         self.plane_dtype = np.dtype(np.float32)
 
@@ -279,7 +360,8 @@ class PathLossDatabase:
                          shadowing_corr_m: float = DEFAULT_SHADOWING_CORR_M,
                          seed: int = 0,
                          tilt_model: TiltModelName = "exact",
-                         backend: Literal["dict", "packed"] = "dict"
+                         backend: Literal["dict", "packed"] = "dict",
+                         clip_floor_db: object = "default"
                          ) -> "PathLossDatabase":
         """Compute the database from terrain the way Atoll would.
 
@@ -293,9 +375,22 @@ class PathLossDatabase:
         float32 mW tensor over the network's tilt ladder and attaches
         it (:meth:`attach_packed`); the dict-of-rasters stays available
         for off-ladder and azimuth-offset queries.
+
+        ``clip_floor_db`` defaults per backend: the packed backend
+        clips at :data:`DEFAULT_CLIP_FLOOR_DB` (the floor rides the
+        f64→f32 quantization it already performs, so float32 results
+        only move in bits that were noise), while the dict backend
+        defaults to ``None`` — its float64 planes have no quantization
+        step, and clipping them would perturb the bitwise-reproducible
+        seeds markets are anchored to.  Pass an explicit float to clip
+        a dict database (enabling ROI windows there too) or ``None``
+        to opt a packed one out.
         """
         if backend not in ("dict", "packed"):
             raise ValueError(f"unknown path-loss backend {backend!r}")
+        if clip_floor_db == "default":
+            clip_floor_db = (DEFAULT_CLIP_FLOOR_DB if backend == "packed"
+                             else None)
         grid = environment.grid
         model = PropagationModel(environment, spm=spm)
         corr_cells = shadowing_corr_m / grid.cell_size
@@ -303,7 +398,8 @@ class PathLossDatabase:
                                          corr_cells, shadowing_sigma_db,
                                          seed)
                    for sector in network.sectors]
-        db = cls(grid, network, rasters, tilt_model=tilt_model)
+        db = cls(grid, network, rasters, tilt_model=tilt_model,
+                 clip_floor_db=clip_floor_db)
         if backend == "packed":
             from .plossdb import pack_database
             db.attach_packed(pack_database(db))
@@ -422,11 +518,42 @@ class PathLossDatabase:
             cached = np.power(10.0, gain_db / 10.0)
             # Off-ladder fallbacks quantize to the plane dtype so they
             # remain bitwise-comparable with packed rows (float32 once
-            # a store is attached, float64 otherwise — a no-op there).
+            # a store is attached, float64 otherwise — a no-op there),
+            # and the clip floor applies at that same quantization
+            # point — the bit-for-bit twin of the packed assignment.
             cached = cached.astype(self.plane_dtype, copy=False)
+            clip_gains_mw(cached, self.clip_floor_db)
             cached.setflags(write=False)
             self._row_mw_cache.put(key, cached)
         return cached
+
+    def footprint(self, sector_id: int, tilt_deg: float,
+                  azimuth_offset_deg: float = 0.0
+                  ) -> Optional[Tuple[int, int, int, int]]:
+        """Tight nonzero bounding box of one sector's gain plane.
+
+        Half-open ``(row0, row1, col0, col1)`` in grid coordinates, or
+        ``None`` when no exact box is known cheaply enough to be worth
+        it: rotated patterns (the stored boxes describe the planned
+        azimuth) and unclipped dict backends (the box would be the
+        whole grid).  Packed on-ladder queries answer from the v3
+        table; clipped dict/off-ladder queries scan the cached plane
+        once and memoize.
+        """
+        if azimuth_offset_deg != 0.0:
+            return None
+        if self._packed is not None:
+            idx = self._packed.index_of(tilt_deg)
+            if idx is not None:
+                return self._packed.footprint(sector_id, idx)
+        if self.clip_floor_db is None:
+            return None
+        key = (sector_id, float(tilt_deg))
+        box = self._footprint_cache.get(key)
+        if box is None:
+            box = plane_footprint(self.gain_matrix_mw(sector_id, tilt_deg))
+            self._footprint_cache.put(key, box)
+        return box
 
     def _check_assignment(self, tilts: np.ndarray,
                           azimuth_offsets: Optional[np.ndarray]):

@@ -46,6 +46,18 @@ the section name and byte range so a flipped bit in a 23 GB market is
 a diagnosis, not a mystery mitigation plan.  Version-1 files (no
 checksums) still load; checksum-less v2 builds are available via
 ``checksums=False`` / ``repro-magus pack --no-checksums``.
+
+Version 3 adds the sparse region-of-influence (ROI) sidecar: a
+``clip_floor_db`` header field (gains below the floor are zeroed at
+the single f64→f32 quantization point, so footprints are *exactly*
+sparse) and an int32 ``roi`` section of shape ``(S, T, 4)`` holding
+each (sector, tilt) plane's tight nonzero bounding box as half-open
+``[row0, row1, col0, col1)``.  Windowed evaluation (see
+:mod:`repro.model.roi`) slices every kernel to these boxes; because
+the clip happens at quantization, cells outside a box carry gain
+*exactly* 0.0 and windowed math is bitwise identical to dense.
+Version-1/2 files (no ROI section) still load — footprints are then
+computed lazily per (sector, tilt) on first use.
 """
 
 from __future__ import annotations
@@ -60,19 +72,21 @@ import numpy as np
 from .antenna import AntennaPattern, TiltRange
 from .geometry import GridSpec, Region
 from .network import CellularNetwork, Sector
-from .pathloss import (DEFAULT_SHADOWING_CORR_M, DEFAULT_SHADOWING_SIGMA_DB,
-                       PathLossDatabase, TiltModelName, _PROFILE_STEP_M,
-                       _SectorRaster, compute_sector_raster, exact_gain_db,
-                       shared_tilt_profile)
+from .pathloss import (DEFAULT_CLIP_FLOOR_DB, DEFAULT_SHADOWING_CORR_M,
+                       DEFAULT_SHADOWING_SIGMA_DB, PathLossDatabase,
+                       TiltModelName, _PROFILE_STEP_M, _SectorRaster,
+                       clip_gains_mw, compute_sector_raster, exact_gain_db,
+                       plane_footprint, shared_tilt_profile)
 from .propagation import Environment, PropagationModel, SPMParameters
 
 __all__ = ["PackedGainStore", "PackedDatabaseWriter", "pack_database",
            "save_packed", "load_packed", "stream_database", "read_header",
-           "verify_sections", "FORMAT_NAME", "MAGIC"]
+           "verify_sections", "FORMAT_NAME", "MAGIC",
+           "DEFAULT_CLIP_FLOOR_DB", "clip_gains_mw", "plane_footprint"]
 
 FORMAT_NAME = "magus.plossdb/1"
-FORMAT_VERSION = 2                     # v2 = per-section CRC32C checksums
-SUPPORTED_VERSIONS = (1, 2)            # v1 files (no checksums) still load
+FORMAT_VERSION = 3                     # v3 = ROI sidecar + clip floor
+SUPPORTED_VERSIONS = (1, 2, 3)         # older files still load
 MAGIC = b"magus.plossdb/1\n"          # exactly 16 bytes
 _ALIGN = 4096                          # section alignment (page size)
 _PREAMBLE = len(MAGIC) + 8             # magic + uint64-LE header length
@@ -117,7 +131,9 @@ class PackedGainStore:
 
     def __init__(self, gains_mw: np.ndarray,
                  tilt_values: Sequence[float],
-                 path: Optional[str] = None) -> None:
+                 path: Optional[str] = None,
+                 roi: Optional[np.ndarray] = None,
+                 clip_floor_db: Optional[float] = None) -> None:
         if gains_mw.ndim != 4:
             raise ValueError("gains tensor must be (S, T, H, W)")
         if gains_mw.dtype != np.float32:
@@ -134,6 +150,19 @@ class PackedGainStore:
         self._tilt_index: Dict[float, int] = {
             t: i for i, t in enumerate(self.tilt_values)}
         self.path = os.fspath(path) if path is not None else None
+        if roi is not None:
+            roi = np.asarray(roi, dtype=np.int32)
+            if roi.shape != (gains_mw.shape[0], gains_mw.shape[1], 4):
+                raise ValueError("roi table must be (S, T, 4)")
+        #: Per-(sector, tilt) nonzero bounding boxes, ``(S, T, 4)``
+        #: int32 half-open rows/cols.  ``None`` for v1/v2 files, where
+        #: boxes are computed lazily per query (see :meth:`footprint`).
+        self._roi = roi
+        self._roi_lazy: Dict[Tuple[int, int], Tuple[int, int, int, int]] = {}
+        #: The clip floor the planes were quantized under (header
+        #: field); informational — clipping happened at pack time.
+        self.clip_floor_db = (None if clip_floor_db is None
+                              else float(clip_floor_db))
 
     # -- identity ------------------------------------------------------
     @property
@@ -151,6 +180,11 @@ class PackedGainStore:
     @property
     def is_file_backed(self) -> bool:
         return self.path is not None
+
+    @property
+    def has_footprints(self) -> bool:
+        """True when the precomputed (v3) ROI table is present."""
+        return self._roi is not None
 
     # -- queries -------------------------------------------------------
     def index_of(self, tilt_deg: float) -> Optional[int]:
@@ -170,6 +204,41 @@ class PackedGainStore:
     def row(self, sector_id: int, tilt_index: int) -> np.ndarray:
         """One (sector, tilt) plane — a zero-copy read-only view."""
         return self.gains_mw[sector_id, tilt_index]
+
+    def footprint(self, sector_id: int,
+                  tilt_index: int) -> Tuple[int, int, int, int]:
+        """The (sector, tilt) plane's nonzero bounding box.
+
+        Half-open ``(row0, row1, col0, col1)``.  v3 files answer from
+        the packed ROI table; v1/v2 files (and in-memory stores built
+        without one) scan the plane once and memoize — correct either
+        way, just not pre-sparsified for unclipped data.
+        """
+        if self._roi is not None:
+            r0, r1, c0, c1 = self._roi[sector_id, tilt_index]
+            return (int(r0), int(r1), int(c0), int(c1))
+        key = (sector_id, tilt_index)
+        box = self._roi_lazy.get(key)
+        if box is None:
+            box = plane_footprint(self.gains_mw[sector_id, tilt_index])
+            self._roi_lazy[key] = box
+        return box
+
+    def footprints(self) -> np.ndarray:
+        """All bounding boxes, ``(S, T, 4)`` int32 (computed if absent).
+
+        Used by ``validate()``'s sparsity report; for v1/v2 files this
+        scans the whole tensor in sector blocks like ``bad_sectors``.
+        """
+        if self._roi is not None:
+            return np.asarray(self._roi)
+        S, T, _, _ = self.shape
+        roi = np.empty((S, T, 4), dtype=np.int32)
+        for s in range(S):
+            for t in range(T):
+                roi[s, t] = self.footprint(s, t)
+            self.drop_page_cache()
+        return roi
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
         """Stacked planes for one tilt index per sector: the whole-
@@ -234,18 +303,27 @@ class PackedGainStore:
         if self.path is not None:
             return {"path": self.path, "tilt_values": self.tilt_values}
         return {"gains_mw": np.asarray(self.gains_mw),
-                "tilt_values": self.tilt_values}
+                "tilt_values": self.tilt_values,
+                "roi": (None if self._roi is None
+                        else np.asarray(self._roi)),
+                "clip_floor_db": self.clip_floor_db}
 
     def __setstate__(self, state: dict) -> None:
         path = state.get("path")
         if path is not None:
             header = read_header(path)
             gains = _open_section(path, header, "gains_mw")
-            self.__init__(gains, state["tilt_values"], path=path)
+            roi = (_open_section(path, header, "roi")
+                   if "roi" in header["sections"] else None)
+            self.__init__(gains, state["tilt_values"], path=path,
+                          roi=roi,
+                          clip_floor_db=header.get("clip_floor_db"))
         else:
             gains = state["gains_mw"]
             gains.setflags(write=False)
-            self.__init__(gains, state["tilt_values"])
+            self.__init__(gains, state["tilt_values"],
+                          roi=state.get("roi"),
+                          clip_floor_db=state.get("clip_floor_db"))
 
 
 # ----------------------------------------------------------------------
@@ -259,24 +337,37 @@ def default_tilt_values(network: CellularNetwork) -> Tuple[float, ...]:
 
 
 def pack_database(db: PathLossDatabase,
-                  tilt_values: Optional[Sequence[float]] = None
-                  ) -> PackedGainStore:
+                  tilt_values: Optional[Sequence[float]] = None,
+                  clip_floor_db: object = "inherit") -> PackedGainStore:
     """Precompute the packed tensor from a dict-backed database.
 
     Gains are the same float64 ``gain_matrix`` output the dict path
     exponentiates; the assignment into the float32 tensor is the single
-    quantization step of the parity contract.
+    quantization step of the parity contract, and the clip floor is
+    applied right there so packed rows match the dict fallback bit for
+    bit.  ``"inherit"`` takes the database's own floor when it has one,
+    else :data:`DEFAULT_CLIP_FLOOR_DB` — a packed artifact is clipped
+    unless the caller passes an explicit ``None``.
     """
     if tilt_values is None:
         tilt_values = default_tilt_values(db.network)
+    if clip_floor_db == "inherit":
+        clip_floor_db = getattr(db, "clip_floor_db", None)
+        if clip_floor_db is None:
+            clip_floor_db = DEFAULT_CLIP_FLOOR_DB
     S = db.network.n_sectors
     H, W = db.grid.shape
-    gains = np.empty((S, len(tilt_values), H, W), dtype=np.float32)
+    T = len(tilt_values)
+    gains = np.empty((S, T, H, W), dtype=np.float32)
+    roi = np.empty((S, T, 4), dtype=np.int32)
     for s in range(S):
         for j, tilt in enumerate(tilt_values):
             gains[s, j] = np.power(10.0, db.gain_matrix(s, float(tilt)) / 10.0)
+            clip_gains_mw(gains[s, j], clip_floor_db)
+            roi[s, j] = plane_footprint(gains[s, j])
     gains.setflags(write=False)
-    return PackedGainStore(gains, tilt_values)
+    return PackedGainStore(gains, tilt_values, roi=roi,
+                           clip_floor_db=clip_floor_db)
 
 
 # ----------------------------------------------------------------------
@@ -296,18 +387,25 @@ class PackedDatabaseWriter:
     def __init__(self, path: str, grid: GridSpec, network: CellularNetwork,
                  tilt_values: Sequence[float],
                  tilt_model: TiltModelName = "exact",
-                 checksums: bool = True) -> None:
+                 checksums: bool = True,
+                 clip_floor_db: Optional[float] = DEFAULT_CLIP_FLOOR_DB
+                 ) -> None:
         self.path = os.fspath(path)
         self.grid = grid
         self.network = network
         self.tilt_values = tuple(float(t) for t in tilt_values)
         self._tilt_model = tilt_model
         self._checksums = bool(checksums)
+        self.clip_floor_db = (None if clip_floor_db is None
+                              else float(clip_floor_db))
         S = network.n_sectors
         H, W = grid.shape
         T = len(self.tilt_values)
         self._plane_bytes = H * W * 4
         self._sector_gain_bytes = T * self._plane_bytes
+        # Footprints accumulate in memory as sectors land (S*T*16
+        # bytes — trivial) and are written as the roi section at close.
+        self._roi = np.zeros((S, T, 4), dtype=np.int32)
 
         sections: Dict[str, Dict[str, object]] = {}
         # Two-pass offset computation: a draft header (offsets zeroed)
@@ -317,11 +415,13 @@ class PackedDatabaseWriter:
         draft = self._header_dict(sections={}, file_bytes=0)
         data_start = _align_up(_PREAMBLE + len(_encode(draft)) + _ALIGN)
         offset = data_start
-        for name, shape in [("gains_mw", (S, T, H, W))] + \
-                [(f, (S, H, W)) for f in _SIDECARS]:
+        specs = [("gains_mw", (S, T, H, W), "<f4")] + \
+            [(f, (S, H, W), "<f4") for f in _SIDECARS] + \
+            [("roi", (S, T, 4), "<i4")]
+        for name, shape, dtype in specs:
             nbytes = int(np.prod(shape)) * 4
             sections[name] = {"offset": offset, "shape": list(shape),
-                              "dtype": "<f4", "nbytes": nbytes}
+                              "dtype": dtype, "nbytes": nbytes}
             if self._checksums:
                 # Real CRCs land at close(); the placeholder has the
                 # same encoded width so the header length is final now.
@@ -345,6 +445,7 @@ class PackedDatabaseWriter:
             "format": FORMAT_NAME,
             "version": FORMAT_VERSION,
             "dtype": "float32",
+            "clip_floor_db": self.clip_floor_db,
             "tilt_model": self._tilt_model,
             "tilt_values": list(self.tilt_values),
             "n_sectors": self.network.n_sectors,
@@ -359,7 +460,14 @@ class PackedDatabaseWriter:
     def write_sector(self, sector_id: int, raster: _SectorRaster,
                      planes_mw: np.ndarray) -> None:
         """Persist one sector: its (T, H, W) float32 mW planes plus the
-        five float32 sidecar rasters."""
+        five float32 sidecar rasters.
+
+        The clip floor is applied here — after the float32 cast, i.e.
+        at the quantization point — and the per-tilt footprints are
+        recorded for the roi section.  ``planes_mw`` may be modified
+        in place when already float32-contiguous (both builders hand
+        over throwaway buffers).
+        """
         assert self._fh is not None, "writer already closed"
         T = len(self.tilt_values)
         H, W = self.grid.shape
@@ -368,6 +476,9 @@ class PackedDatabaseWriter:
             raise ValueError(
                 f"sector {sector_id}: planes shape {planes.shape} != "
                 f"{(T, H, W)}")
+        clip_gains_mw(planes, self.clip_floor_db)
+        for j in range(T):
+            self._roi[sector_id, j] = plane_footprint(planes[j])
         self._fh.seek(self._sections["gains_mw"]["offset"]
                       + sector_id * self._sector_gain_bytes)
         self._fh.write(planes.tobytes())
@@ -394,6 +505,9 @@ class PackedDatabaseWriter:
             raise ValueError(
                 f"plossdb build incomplete: sectors {missing[:8]}"
                 f"{'...' if len(missing) > 8 else ''} never written")
+        roi = np.ascontiguousarray(self._roi, dtype=np.dtype("<i4"))
+        self._fh.seek(self._sections["roi"]["offset"])
+        self._fh.write(roi.tobytes())
         if self._checksums:
             self._fh.flush()
             expected_len = len(self._header_bytes)
@@ -447,20 +561,29 @@ def _stream_checksum(fh: IO[bytes], offset: int, nbytes: int) -> str:
 
 def save_packed(db: PathLossDatabase, path: str,
                 tilt_values: Optional[Sequence[float]] = None,
-                checksums: bool = True) -> Dict:
+                checksums: bool = True,
+                clip_floor_db: object = "inherit") -> Dict:
     """Write an existing database to ``path`` in plossdb format.
 
     Planes are recomputed from ``gain_matrix`` (not copied from any
     attached store), so the file is bit-identical whether the source
-    database was dict-backed or packed.  Returns the header dict.
+    database was dict-backed or packed.  The clip floor defaults to
+    the database's own when set, else :data:`DEFAULT_CLIP_FLOOR_DB`
+    (pass ``None`` explicitly to write an unclipped file).  Returns
+    the header dict.
     """
     if tilt_values is None:
         tilt_values = default_tilt_values(db.network)
+    if clip_floor_db == "inherit":
+        clip_floor_db = getattr(db, "clip_floor_db", None)
+        if clip_floor_db is None:
+            clip_floor_db = DEFAULT_CLIP_FLOOR_DB
     T = len(tuple(tilt_values))
     H, W = db.grid.shape
     with PackedDatabaseWriter(path, db.grid, db.network, tilt_values,
                               tilt_model=db.tilt_model,
-                              checksums=checksums) as writer:
+                              checksums=checksums,
+                              clip_floor_db=clip_floor_db) as writer:
         for s in range(db.network.n_sectors):
             planes = np.empty((T, H, W), dtype=np.float32)
             for j, tilt in enumerate(writer.tilt_values):
@@ -479,7 +602,9 @@ def stream_database(path: str, network: CellularNetwork,
                     tilt_model: TiltModelName = "exact",
                     tilt_values: Optional[Sequence[float]] = None,
                     progress: Optional[Callable[[int, int], None]] = None,
-                    checksums: bool = True) -> Dict:
+                    checksums: bool = True,
+                    clip_floor_db: Optional[float] = DEFAULT_CLIP_FLOOR_DB
+                    ) -> Dict:
     """Build a plossdb file one sector at a time — never holding more
     than a single sector's rasters and planes in RAM.
 
@@ -499,7 +624,8 @@ def stream_database(path: str, network: CellularNetwork,
     profiles: Dict[float, np.ndarray] = {}
     with PackedDatabaseWriter(path, grid, network, tilt_values,
                               tilt_model=tilt_model,
-                              checksums=checksums) as writer:
+                              checksums=checksums,
+                              clip_floor_db=clip_floor_db) as writer:
         n = network.n_sectors
         for s, sector in enumerate(network.sectors):
             raster = compute_sector_raster(sector, environment, model,
@@ -646,12 +772,18 @@ def load_packed(path: str, verify: object = "auto") -> PathLossDatabase:
     rasters = [
         _SectorRaster(**{name: sidecars[name][s] for name in _SIDECARS})
         for s in range(network.n_sectors)]
+    clip_floor_db = header.get("clip_floor_db")
     db = PathLossDatabase(grid, network, rasters,
                           tilt_model=header.get("tilt_model", "exact"),
-                          validate=False)
+                          validate=False, clip_floor_db=clip_floor_db)
     gains = _open_section(path, header, "gains_mw")
+    # v3 carries the ROI table; the (tiny) section is materialized so
+    # footprint queries never fault file pages.
+    roi = (np.asarray(_open_section(path, header, "roi"))
+           if "roi" in header["sections"] else None)
     db.attach_packed(PackedGainStore(gains, header["tilt_values"],
-                                     path=path))
+                                     path=path, roi=roi,
+                                     clip_floor_db=clip_floor_db))
     return db
 
 

@@ -195,6 +195,12 @@ class RunReport:
             width = max(len(name) for name in delta)
             for name, value in delta.items():
                 lines.append(f"  {name:<{width}}  {value}")
+        roi = self.roi_metrics()
+        if roi:
+            lines.append("roi:")
+            width = max(len(name) for name in roi)
+            for name, value in roi.items():
+                lines.append(f"  {name:<{width}}  {value}")
         parallel = self.parallel_metrics()
         workers = self.worker_utilization()
         if parallel or workers:
@@ -224,6 +230,25 @@ class RunReport:
         for name in ("magus.engine.delta_evaluations",
                      "magus.engine.delta_fallbacks",
                      "magus.engine.batched_candidates"):
+            stats = self.metrics.get(name)
+            if stats is not None:
+                out[name] = stats.get("value")
+        return out
+
+    def roi_metrics(self) -> Dict[str, object]:
+        """Region-of-influence counters, if windowed scoring ran.
+
+        ``magus.engine.roi_evaluations`` / ``roi_cells`` /
+        ``roi_fallbacks`` expose how many candidates took the sparse
+        window path and how much of the grid it actually touched
+        (``roi_cells / (roi_evaluations * H * W)`` is the mean window
+        fraction); empty under ``--no-roi`` or a backend without
+        footprints, keeping dense reports unchanged.
+        """
+        out: Dict[str, object] = {}
+        for name in ("magus.engine.roi_evaluations",
+                     "magus.engine.roi_cells",
+                     "magus.engine.roi_fallbacks"):
             stats = self.metrics.get(name)
             if stats is not None:
                 out[name] = stats.get("value")

@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..model import roi as _roi
 from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration
 from ..obs import get_flight_recorder, get_logger, get_registry
@@ -151,7 +152,10 @@ class EvaluationService:
         # doubling the footprint in /dev/shm.
         spill = 0 if getattr(engine.pathloss, "is_file_backed", False) \
             else None
-        self._store = SharedPlaneStore(spill_bytes=spill)
+        # Capacity 4: up to two incumbents, each potentially exported
+        # twice (dense plane stack + ROI baseline rasters) when a
+        # batch mixes windowed and fallback candidates.
+        self._store = SharedPlaneStore(capacity=4, spill_bytes=spill)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -252,7 +256,7 @@ class EvaluationService:
                 "pool_fallback", reason="stale_incumbent_epoch",
                 candidates=k)
             return None
-        moves = self._encode_moves(incumbent, configs)
+        moves = self._encode_moves(incumbent.config, configs)
         if moves is None:
             return None
         self._ensure_pool()
@@ -310,11 +314,92 @@ class EvaluationService:
         registry.counter("magus.engine.batched_candidates").inc(k)
         return scores
 
-    def _encode_moves(self, incumbent: DeltaIncumbent,
+    def score_batch_roi(self, baseline: "_roi.RoiBaseline",
+                        configs: Sequence[Configuration],
+                        windows: Sequence[Tuple[int, tuple]]
+                        ) -> Optional[List[float]]:
+        """Windowed utilities for single-sector ``configs``.
+
+        ``windows`` pairs each config with its ``(changed, box)`` ROI
+        as resolved by ``AnalysisEngine.roi_window``.  The pool chunks
+        the candidates exactly like :meth:`score_batch` but ships the
+        baseline's nine (H, W) rasters instead of the (S, H, W) plane
+        stack.  Returns ``None`` for the same serial-fallback reasons
+        as the dense path; on success the values are bitwise identical
+        to :func:`repro.model.roi.score_candidate` run serially.
+        """
+        k = len(configs)
+        if k == 0:
+            return []
+        if not self.usable() or k < self.min_parallel_batch:
+            return None
+        if baseline.epoch != self.engine.pathloss.cache_epoch:
+            get_flight_recorder().record(
+                "pool_fallback", reason="stale_baseline_epoch",
+                candidates=k)
+            return None
+        moves = self._encode_moves(baseline.config, configs)
+        if moves is None:
+            return None
+        self._ensure_pool()
+        if self._pool is None:
+            return None
+        handles = self._export_roi_baseline(baseline)
+        boxes = [box for _, box in windows]
+        chunk_count = min(k, self.workers * self.chunks_per_worker)
+        chunk_count = max(chunk_count, math.ceil(k / _MAX_CHUNK))
+        bounds = np.linspace(0, k, chunk_count + 1).astype(int)
+        tasks = [
+            _worker.RoiScoreTask(
+                chunk_index=i, config=baseline.config, handles=handles,
+                moves=tuple(moves[bounds[i]:bounds[i + 1]]),
+                boxes=tuple(boxes[bounds[i]:bounds[i + 1]]))
+            for i in range(chunk_count) if bounds[i] < bounds[i + 1]]
+
+        def rescore_serially(task: _worker.RoiScoreTask):
+            # Quarantine path: same per-candidate score_candidate loop
+            # as the worker, run in the parent.
+            base = list(task.config.settings)
+            utilities = []
+            for (sector_id, setting), box in zip(task.moves, task.boxes):
+                settings = list(base)
+                settings[sector_id] = setting
+                config = Configuration(tuple(settings))
+                utilities.append(_roi.score_candidate(
+                    self.engine, baseline, config, sector_id, box,
+                    self.ue_density, self.utility))
+            return task.chunk_index, utilities, None
+
+        results = self._dispatch(_worker._score_roi_chunk, tasks,
+                                 serial_fn=rescore_serially)
+        if results is None:
+            return None
+        ordered: List[Optional[List[float]]] = [None] * len(tasks)
+        for chunk_index, utilities, _telemetry in results:
+            if utilities is None:  # pragma: no cover — defensive
+                get_flight_recorder().record(
+                    "pool_fallback", reason="worker_refused_chunk",
+                    chunk=chunk_index, candidates=k)
+                return None
+            ordered[chunk_index] = utilities
+        scores: List[float] = []
+        for part in ordered:
+            scores.extend(part)
+        # Same parent-side accounting as the serial ROI path (workers
+        # count into their own forked registries).
+        self.engine._eval_counter.inc(k)
+        registry = get_registry()
+        registry.counter("magus.engine.evaluations").inc(k)
+        registry.counter("magus.engine.roi_evaluations").inc(k)
+        registry.counter("magus.engine.roi_cells").inc(
+            sum(_roi.box_area(box) for box in boxes))
+        return scores
+
+    def _encode_moves(self, base_config: Configuration,
                       configs: Sequence[Configuration]):
         moves = []
         for config in configs:
-            diff = incumbent.config.diff(config)
+            diff = base_config.diff(config)
             if len(diff) != 1:
                 return None
             sector_id, (_, setting) = next(iter(diff.items()))
@@ -335,6 +420,13 @@ class EvaluationService:
             "runner_val": runner_val,
             "runner_idx": runner_idx,
         })
+
+    def _export_roi_baseline(self, baseline: "_roi.RoiBaseline"):
+        key = (baseline.config, baseline.epoch, "roi")
+        cached = self._store.handles(key)
+        if cached is not None:
+            return cached
+        return self._store.export(key, baseline.export_arrays())
 
     # ------------------------------------------------------------------
     # generic fan-out (scenario sweeps ride the same pool)

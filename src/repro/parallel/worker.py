@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..model import roi as _roi
 from ..model.engine import AnalysisEngine, DeltaIncumbent
 from ..model.network import Configuration, SectorSetting
 from ..obs import get_registry, trace
@@ -34,7 +35,7 @@ from ..obs.telemetry import (WorkerTelemetry, drain_worker_telemetry,
                              reset_worker_observability)
 from .shm import SharedArrayHandle, attach_array, attach_handle_block
 
-__all__ = ["ScoreTask", "WorkerState"]
+__all__ = ["RoiScoreTask", "ScoreTask", "WorkerState"]
 
 #: Attached incumbents kept per worker (mirrors the store capacity).
 _WORKER_CACHE_SIZE = 2
@@ -62,6 +63,23 @@ class ScoreTask:
     moves: Tuple[Tuple[int, SectorSetting], ...]  # (sector, new setting)
 
 
+@dataclass(frozen=True)
+class RoiScoreTask:
+    """One chunk of windowed ROI candidates against one baseline.
+
+    ``handles`` map the nine (H, W) baseline rasters (see
+    :data:`repro.model.roi._BASELINE_ARRAYS`) — no plane stack; the
+    changed rows are recomputed from the fork-inherited path-loss
+    database.  ``boxes`` carries each move's ROI window.
+    """
+
+    chunk_index: int
+    config: Configuration                   # the baseline configuration
+    handles: Dict[str, SharedArrayHandle]   # RoiBaseline rasters
+    moves: Tuple[Tuple[int, SectorSetting], ...]  # (sector, new setting)
+    boxes: Tuple[Tuple[int, int, int, int], ...]  # per-move ROI window
+
+
 # -- process-global state ----------------------------------------------
 #: Set by the parent immediately before forking a scoring pool.
 _FORK_STATE: Optional[WorkerState] = None
@@ -71,6 +89,8 @@ _SWEEP_STATE: Optional[tuple] = None
 _STATE: Optional[WorkerState] = None
 #: Attached incumbents: planes block name -> (incumbent, shm blocks).
 _INCUMBENTS: "OrderedDict[str, tuple]" = OrderedDict()
+#: Attached ROI baselines: total_mw block name -> (baseline, blocks).
+_ROI_BASELINES: "OrderedDict[str, tuple]" = OrderedDict()
 
 
 def _init_worker(payload: Optional[WorkerState] = None) -> None:
@@ -85,6 +105,7 @@ def _init_worker(payload: Optional[WorkerState] = None) -> None:
     global _STATE
     _STATE = payload if payload is not None else _FORK_STATE
     _INCUMBENTS.clear()
+    _ROI_BASELINES.clear()
     reset_worker_observability()
 
 
@@ -115,6 +136,68 @@ def _attach_incumbent(task: ScoreTask) -> DeltaIncumbent:
         for block in old_blocks:
             block.close()
     return incumbent
+
+
+def _attach_views(handles: Dict[str, SharedArrayHandle]
+                  ) -> Tuple[Dict[str, np.ndarray], list]:
+    """Map every handle's array, sharing attached blocks."""
+    blocks = {}
+    views = {}
+    for name, handle in handles.items():
+        block = blocks.get(handle.block)
+        if block is None:
+            block = blocks[handle.block] = attach_handle_block(handle)
+        views[name] = attach_array(handle, block)
+    return views, list(blocks.values())
+
+
+def _attach_roi_baseline(task: RoiScoreTask) -> "_roi.RoiBaseline":
+    """Map the task's baseline from shared memory (cached per block)."""
+    key = task.handles["total_mw"].block
+    cached = _ROI_BASELINES.get(key)
+    if cached is not None:
+        _ROI_BASELINES.move_to_end(key)
+        return cached[0]
+    views, blocks = _attach_views(task.handles)
+    baseline = _roi.RoiBaseline.from_arrays(
+        task.config, _STATE.engine.pathloss.cache_epoch, views)
+    _ROI_BASELINES[key] = (baseline, blocks)
+    while len(_ROI_BASELINES) > _WORKER_CACHE_SIZE:
+        _, (_, old_blocks) = _ROI_BASELINES.popitem(last=False)
+        for block in old_blocks:
+            block.close()
+    return baseline
+
+
+def _score_roi_chunk(task: RoiScoreTask
+                     ) -> Tuple[int, Optional[list], WorkerTelemetry]:
+    """Score one windowed candidate chunk.
+
+    The per-candidate loop runs :func:`repro.model.roi.score_candidate`
+    — the same function the serial ROI path and the parent-side
+    quarantine rescue use, so chunk placement cannot perturb a bit.
+    """
+    t0 = time.perf_counter_ns()
+    state = _STATE
+    if state.chaos is not None:
+        state.chaos.on_chunk(task.chunk_index)
+    with trace.span("magus.parallel.score_roi_chunk",
+                    chunk=task.chunk_index, candidates=len(task.moves)):
+        baseline = _attach_roi_baseline(task)
+        base = list(task.config.settings)
+        utilities = []
+        for (sector_id, setting), box in zip(task.moves, task.boxes):
+            settings = list(base)
+            settings[sector_id] = setting
+            config = Configuration(tuple(settings))
+            utilities.append(_roi.score_candidate(
+                state.engine, baseline, config, sector_id, box,
+                state.ue_density, state.utility))
+    busy_ns = time.perf_counter_ns() - t0
+    registry = get_registry()
+    registry.counter("magus.parallel.chunks").inc()
+    registry.counter("magus.parallel.worker_busy_ns").inc(busy_ns)
+    return task.chunk_index, utilities, drain_worker_telemetry(busy_ns)
 
 
 def _score_chunk(task: ScoreTask

@@ -31,7 +31,8 @@ from ..model.geometry import GridSpec, Region
 from ..model.linkrate import LinkAdaptation
 from ..model.load import uniform_per_sector_density
 from ..model.network import CellularNetwork, Configuration
-from ..model.pathloss import PathLossDatabase, TiltModelName
+from ..model.pathloss import (DEFAULT_CLIP_FLOOR_DB, PathLossDatabase,
+                              TiltModelName)
 from ..model.plossdb import (_network_to_json, load_packed, read_header,
                              stream_database)
 from ..model.propagation import Environment
@@ -128,7 +129,8 @@ def build_area(area_type: AreaType, seed: int = 0,
                name: Optional[str] = None,
                evaluation_strategy: str = "delta",
                pathloss_backend: str = "dict",
-               plossdb: Optional[str] = None) -> StudyArea:
+               plossdb: Optional[str] = None,
+               roi: bool = True) -> StudyArea:
     """Construct a reproducible :class:`StudyArea`.
 
     The pipeline mirrors how the paper's data feeds compose: place
@@ -161,7 +163,7 @@ def build_area(area_type: AreaType, seed: int = 0,
         pathloss = PathLossDatabase.from_environment(
             network, environment, seed=seed, tilt_model=tilt_model,
             backend=pathloss_backend)
-    engine = AnalysisEngine(pathloss, link=link)
+    engine = AnalysisEngine(pathloss, link=link, roi=roi)
 
     # Two-pass density: footprints first, then per-sector totals spread
     # uniformly (paper Section 4.2).
@@ -220,7 +222,9 @@ def pack_area_database(path: str, area_type: AreaType, seed: int = 0,
                        dims: Optional[AreaDimensions] = None,
                        tilt_model: TiltModelName = "exact",
                        progress: Optional[Callable[[int, int], None]] = None,
-                       checksums: bool = True) -> Dict:
+                       checksums: bool = True,
+                       clip_floor_db: Optional[float] =
+                       DEFAULT_CLIP_FLOOR_DB) -> Dict:
     """Stream a standard study area's path-loss database to disk.
 
     Constructs exactly the environment/network :func:`build_area` would
@@ -238,7 +242,8 @@ def pack_area_database(path: str, area_type: AreaType, seed: int = 0,
     network = build_network(analysis_region, area_type, seed=seed)
     return stream_database(path, network, environment, seed=seed,
                            tilt_model=tilt_model, progress=progress,
-                           checksums=checksums)
+                           checksums=checksums,
+                           clip_floor_db=clip_floor_db)
 
 
 def build_packed_market(path: str, seed: int = 0,
@@ -248,7 +253,9 @@ def build_packed_market(path: str, seed: int = 0,
                         tilt_values: Optional[list] = None,
                         tilt_model: TiltModelName = "exact",
                         progress: Optional[Callable[[int, int], None]] = None,
-                        checksums: bool = True) -> Dict:
+                        checksums: bool = True,
+                        clip_floor_db: Optional[float] =
+                        DEFAULT_CLIP_FLOOR_DB) -> Dict:
     """Stream a paper-scale square market to disk.
 
     The default geometry is the paper's evaluation scale: a 600x600
@@ -265,7 +272,8 @@ def build_packed_market(path: str, seed: int = 0,
     network = build_network(region, area_type, seed=seed)
     return stream_database(path, network, environment, seed=seed,
                            tilt_model=tilt_model, tilt_values=tilt_values,
-                           progress=progress, checksums=checksums)
+                           progress=progress, checksums=checksums,
+                           clip_floor_db=clip_floor_db)
 
 
 @dataclass

@@ -359,3 +359,58 @@ class TestFaultFlags:
         data = json.loads(ckpt.read_text())
         assert data["schema"] == "magus.checkpoint/1"
         assert data["meta"]["status"] == "complete"
+
+
+class TestRoiCli:
+    def test_no_roi_flag_parses(self):
+        assert not build_parser().parse_args(["mitigate"]).no_roi
+        assert build_parser().parse_args(["mitigate", "--no-roi"]).no_roi
+
+    def test_clip_floor_flag_parses(self):
+        args = build_parser().parse_args(
+            ["pack", "--out", "x.plossdb", "--clip-floor-db", "-120"])
+        assert args.clip_floor_db == "-120"
+        assert build_parser().parse_args(
+            ["pack", "--out", "x.plossdb"]).clip_floor_db is None
+
+    def test_bad_clip_floor_is_exit_2(self, capsys, tmp_path):
+        assert main(["pack", "--out", str(tmp_path / "x.plossdb"),
+                     "--clip-floor-db", "banana"]) == 2
+        assert "--clip-floor-db" in capsys.readouterr().err
+
+    def test_pack_persists_clip_floor(self, capsys, monkeypatch, tmp_path):
+        from repro.model.plossdb import read_header
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        path = tmp_path / "area.plossdb"
+        assert main(["pack", "--out", str(path),
+                     "--clip-floor-db", "-110"]) == 0
+        header = read_header(path)
+        assert header["clip_floor_db"] == -110.0
+        assert "roi" in header["sections"]
+
+    def test_pack_clip_floor_none(self, capsys, monkeypatch, tmp_path):
+        from repro.model.plossdb import read_header
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        path = tmp_path / "raw.plossdb"
+        assert main(["pack", "--out", str(path),
+                     "--clip-floor-db", "none"]) == 0
+        assert read_header(path)["clip_floor_db"] is None
+
+    def test_mitigate_no_roi_report(self, capsys, monkeypatch, tmp_path):
+        import json
+        from repro.synthetic import market
+        from conftest import SMALL_DIMS
+        monkeypatch.setattr(market.AreaDimensions, "for_area",
+                            classmethod(lambda cls, area: SMALL_DIMS))
+        path = tmp_path / "run.json"
+        assert main(["mitigate", "--tuning", "power", "--seed", "1",
+                     "--no-roi", "--metrics-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["meta"]["roi"] is False
+        assert not any("roi" in name for name in data["metrics"])

@@ -21,7 +21,9 @@ from repro.core.evaluation import Evaluator
 from repro.core.planning import PlanningSettings
 from repro.core.utility import PerformanceUtility
 from repro.model.engine import AnalysisEngine
-from repro.model.pathloss import DEFAULT_PROFILE_CACHE_SIZE, PathLossDatabase
+from repro.model.pathloss import (DEFAULT_CLIP_FLOOR_DB,
+                                  DEFAULT_PROFILE_CACHE_SIZE,
+                                  PathLossDatabase)
 from repro.model.plossdb import (FORMAT_NAME, FORMAT_VERSION, MAGIC,
                                  PackedDatabaseWriter, PackedGainStore,
                                  default_tilt_values, load_packed,
@@ -323,3 +325,98 @@ class TestMarketIntegration:
             build_area(AreaType.SUBURBAN, seed=43, dims=self.DIMS,
                        planning=PlanningSettings(max_passes=0),
                        plossdb=path)
+
+
+# ----------------------------------------------------------------------
+def _downgrade_to_v2(path) -> None:
+    """Rewrite a v3 file's header as a pre-ROI v2 header in place.
+
+    The roi section and clip floor disappear from the header (the
+    section's bytes become dead padding); offsets and checksums of the
+    remaining sections are untouched, so the result is exactly what an
+    older build would read.
+    """
+    preamble = len(MAGIC) + 8
+    with open(path, "r+b") as fh:
+        head = fh.read(preamble)
+        header_len = int.from_bytes(head[len(MAGIC):], "little")
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+        header["version"] = 2
+        header.pop("clip_floor_db", None)
+        header["sections"].pop("roi", None)
+        raw = json.dumps(header, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+        assert len(raw) <= header_len
+        fh.seek(len(MAGIC))
+        fh.write(len(raw).to_bytes(8, "little"))
+        fh.write(raw + b"\x00" * (header_len - len(raw)))
+
+
+class TestRoiFormat:
+    """The v3 ROI sidecar: persisted boxes, legacy files, sparsity."""
+
+    def test_v3_header_and_roi_section(self, tmp_path, toy_pathloss):
+        path = tmp_path / "toy.plossdb"
+        save_packed(toy_pathloss, path)
+        header = read_header(path)
+        assert header["version"] == 3
+        assert header["clip_floor_db"] == DEFAULT_CLIP_FLOOR_DB
+        spec = header["sections"]["roi"]
+        assert spec["shape"] == [header["n_sectors"],
+                                 header["n_tilts"], 4]
+        assert "roi" in verify_sections(path, header)
+        loaded = load_packed(path)
+        assert loaded.packed_store.has_footprints
+        assert loaded.clip_floor_db == DEFAULT_CLIP_FLOOR_DB
+
+    def test_clip_floor_none_is_persisted(self, tmp_path, toy_pathloss):
+        path = tmp_path / "raw.plossdb"
+        save_packed(toy_pathloss, path, clip_floor_db=None)
+        assert read_header(path)["clip_floor_db"] is None
+        assert load_packed(path).clip_floor_db is None
+
+    def test_v2_file_still_loads(self, tmp_path, toy_pathloss):
+        new, old = tmp_path / "v3.plossdb", tmp_path / "v2.plossdb"
+        save_packed(toy_pathloss, new)
+        save_packed(toy_pathloss, old)
+        _downgrade_to_v2(old)
+        assert read_header(old)["version"] == 2
+        legacy = load_packed(old)
+        assert not legacy.packed_store.has_footprints
+        assert legacy.clip_floor_db is None
+        current = load_packed(new)
+        assert np.array_equal(np.asarray(legacy.packed_store.gains_mw),
+                              np.asarray(current.packed_store.gains_mw))
+        # Lazy boxes still bound the nonzero cells exactly, so the
+        # windowed engine stays *correct* on legacy files (just not
+        # pre-sparsified).
+        box = legacy.packed_store.footprint(0, 0)
+        plane = np.asarray(legacy.packed_store.row(0, 0))
+        rows, cols = np.nonzero(plane)
+        assert box == (int(rows.min()), int(rows.max()) + 1,
+                       int(cols.min()), int(cols.max()) + 1)
+
+    def test_validate_reports_sparsity(self, toy_grid, toy_network):
+        db = PathLossDatabase.from_environment(
+            toy_network, Environment.flat(toy_grid),
+            shadowing_sigma_db=0.0, seed=0, clip_floor_db=-110.0)
+        db.attach_packed(pack_database(db))      # inherits the floor
+        report = db.validate()
+        assert report["clip_floor_db"] == -110.0
+        assert 0.0 < report["mean_footprint_ratio"] \
+            <= report["max_footprint_ratio"] < 1.0
+        ratios = report["per_sector_footprint_ratio"]
+        assert len(ratios) == toy_network.n_sectors
+        assert all(0.0 < r <= 1.0 for r in ratios)
+
+    def test_validate_dict_backend_returns_none(self, toy_pathloss):
+        assert toy_pathloss.validate() is None
+
+    def test_pack_database_inherits_floor(self, toy_grid, toy_network,
+                                          toy_pathloss):
+        assert (pack_database(toy_pathloss).clip_floor_db
+                == DEFAULT_CLIP_FLOOR_DB)
+        clipped = PathLossDatabase.from_environment(
+            toy_network, Environment.flat(toy_grid),
+            shadowing_sigma_db=0.0, seed=0, clip_floor_db=-110.0)
+        assert pack_database(clipped).clip_floor_db == -110.0

@@ -1,0 +1,427 @@
+"""Sparse region-of-influence evaluation (PR 10).
+
+The windowed engine's contract is *bitwise* agreement with the dense
+path: footprint boxes bound exactly the nonzero gain cells, and every
+scoring route — delta snapshots, batched candidate scoring, the
+process pool — produces identical floats with ROI windows on or off.
+The property tests below drive random perturbation chains through a
+clipped backend (floor high enough that windows are genuinely small on
+the toy grid) and through every fallback trigger (unclipped dicts,
+azimuth offsets, full-grid footprints, custom utilities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.evaluation import Evaluator
+from repro.core.utility import PerformanceUtility, UtilityFunction
+from repro.model.engine import AnalysisEngine
+from repro.model.linkrate import LinkAdaptation
+from repro.model.pathloss import (DEFAULT_CLIP_FLOOR_DB, PathLossDatabase,
+                                  plane_footprint)
+from repro.model.plossdb import load_packed, save_packed
+from repro.model.propagation import Environment
+from repro.model.roi import (EMPTY_BOX, RoiBaseline, box_area,
+                             box_is_empty, box_union)
+from repro.obs import MetricsRegistry, set_registry
+from repro.obs.report import RunReport
+
+from conftest import make_sectors
+from test_delta_engine import _MOVES, _apply_move, _assert_states_equal
+
+_UTILITY = PerformanceUtility()
+
+#: On the 20x20 toy grid the default -150 dB floor leaves every
+#: footprint covering the whole grid (so ROI would only ever fall
+#: back); -110 dB shrinks the boxes to ~20-35% of the grid, which is
+#: the regime the windowed kernels must be exercised in.
+_FLOOR = -110.0
+
+
+def _clipped_pathloss(toy_grid, toy_network,
+                      floor=_FLOOR) -> PathLossDatabase:
+    return PathLossDatabase.from_environment(
+        toy_network, Environment.flat(toy_grid),
+        shadowing_sigma_db=0.0, seed=0, clip_floor_db=floor)
+
+
+@pytest.fixture
+def clipped_pathloss(toy_grid, toy_network) -> PathLossDatabase:
+    return _clipped_pathloss(toy_grid, toy_network)
+
+
+@pytest.fixture
+def roi_engine(clipped_pathloss) -> AnalysisEngine:
+    return AnalysisEngine(clipped_pathloss, link=LinkAdaptation(), roi=True)
+
+
+@pytest.fixture
+def dense_engine(toy_grid, toy_network) -> AnalysisEngine:
+    """A dense comparator over an identical (but separate) database."""
+    return AnalysisEngine(_clipped_pathloss(toy_grid, toy_network),
+                          link=LinkAdaptation(), roi=False)
+
+
+@pytest.fixture
+def density(roi_engine, toy_network) -> np.ndarray:
+    from repro.model.load import uniform_per_sector_density
+    baseline = roi_engine.evaluate(toy_network.planned_configuration(),
+                                   np.zeros(roi_engine.grid.shape))
+    return uniform_per_sector_density(baseline, 90.0)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+def _candidate_fan(network, base):
+    """One candidate per knob per sector (all single-sector changes)."""
+    out = []
+    for s in range(network.n_sectors):
+        spec = network.sector(s)
+        out.append(base.with_power(s, max(base.power_dbm(s) - 3.0,
+                                          spec.min_power_dbm)))
+        out.append(base.with_tilt(s, min(base.tilt_deg(s) + 2.0,
+                                         spec.tilt_range.max_deg)))
+        if base.is_active(s):
+            out.append(base.with_offline([s]))
+    return out
+
+
+# ----------------------------------------------------------------------
+class TestFootprints:
+    """The v3 boxes bound exactly the nonzero cells of each plane."""
+
+    def test_boxes_tight_and_exact(self, clipped_pathloss, toy_network):
+        for s in range(toy_network.n_sectors):
+            for tilt in toy_network.sector(s).tilt_range.settings:
+                box = clipped_pathloss.footprint(s, tilt)
+                plane = clipped_pathloss.gain_matrix_mw(s, tilt)
+                rows, cols = np.nonzero(plane)
+                assert rows.size, "clipped toy plane unexpectedly empty"
+                assert box == (int(rows.min()), int(rows.max()) + 1,
+                               int(cols.min()), int(cols.max()) + 1)
+                r0, r1, c0, c1 = box
+                outside = plane.copy()
+                outside[r0:r1, c0:c1] = 0.0
+                assert not outside.any()
+
+    def test_unclipped_dict_returns_none(self, toy_pathloss):
+        assert toy_pathloss.clip_floor_db is None
+        assert toy_pathloss.footprint(0, 8.0) is None
+
+    def test_azimuth_offset_returns_none(self, clipped_pathloss):
+        tilt = clipped_pathloss.network.sector(0).tilt_range.normal_deg
+        assert clipped_pathloss.footprint(0, tilt) is not None
+        assert clipped_pathloss.footprint(
+            0, tilt, azimuth_offset_deg=10.0) is None
+
+    def test_packed_table_matches_dict_scan(self, tmp_path, toy_grid,
+                                            toy_network, clipped_pathloss):
+        path = str(tmp_path / "toy.plossdb")
+        save_packed(clipped_pathloss, path)
+        loaded = load_packed(path)
+        assert loaded.clip_floor_db == _FLOOR
+        for s in range(toy_network.n_sectors):
+            for tilt in loaded.packed_store.tilt_values:
+                want = clipped_pathloss.footprint(s, tilt)
+                # Packed planes are the same float32 quantization the
+                # dict path clips, so the boxes agree exactly.
+                assert loaded.footprint(s, tilt) == want
+
+    def test_box_helpers(self):
+        assert plane_footprint(np.zeros((4, 4))) == EMPTY_BOX
+        assert box_is_empty(EMPTY_BOX)
+        assert box_area(EMPTY_BOX) == 0
+        a, b = (1, 3, 2, 5), (2, 6, 0, 3)
+        assert box_union(a, EMPTY_BOX) == a
+        assert box_union(EMPTY_BOX, b) == b
+        assert box_union(a, b) == (1, 6, 0, 5)
+        assert box_area(a) == 6
+
+
+# ----------------------------------------------------------------------
+class TestRoiDeltaParity:
+    """Windowed evaluate_delta == full evaluate, bitwise."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(moves=_MOVES)
+    def test_random_perturbation_chain(self, moves, roi_engine,
+                                       toy_network, density):
+        config = toy_network.planned_configuration()
+        _, incumbent = roi_engine.evaluate_with_incumbent(config, density)
+        for move in moves:
+            new_config = _apply_move(toy_network, config, move)
+            if new_config == config:
+                config = new_config
+                continue
+            result = roi_engine.evaluate_delta(incumbent, new_config,
+                                               density)
+            assert result is not None
+            state, incumbent = result
+            _assert_states_equal(state,
+                                 roi_engine.evaluate(new_config, density))
+            config = new_config
+
+    def test_windowed_path_taken(self, registry, roi_engine, toy_network,
+                                 density):
+        base = toy_network.planned_configuration()
+        _, incumbent = roi_engine.evaluate_with_incumbent(base, density)
+        trial = base.with_tilt(1, base.tilt_deg(1) + 2.0)
+        roi_engine.evaluate_delta(incumbent, trial, density)
+        snap = registry.snapshot()
+        assert snap["magus.engine.roi_evaluations"]["value"] == 1
+        assert snap["magus.engine.roi_cells"]["value"] > 0
+        H, W = roi_engine.grid.shape
+        assert snap["magus.engine.roi_cells"]["value"] < H * W
+
+    def test_toggle_off_and_on(self, roi_engine, toy_network, density):
+        base = toy_network.planned_configuration()
+        _, incumbent = roi_engine.evaluate_with_incumbent(base, density)
+        dark = base.with_offline([1])
+        state, inc_dark = roi_engine.evaluate_delta(incumbent, dark,
+                                                    density)
+        _assert_states_equal(state, roi_engine.evaluate(dark, density))
+        lit = dark.with_online([1])
+        state, _ = roi_engine.evaluate_delta(inc_dark, lit, density)
+        _assert_states_equal(state, roi_engine.evaluate(lit, density))
+
+    def test_azimuth_move_falls_back_correctly(self, registry, roi_engine,
+                                               toy_network, density):
+        """Rotated patterns have no stored box — dense path, same result."""
+        base = toy_network.planned_configuration()
+        _, incumbent = roi_engine.evaluate_with_incumbent(base, density)
+        turned = base.with_azimuth_offset(1, 10.0)
+        state, _ = roi_engine.evaluate_delta(incumbent, turned, density)
+        _assert_states_equal(state, roi_engine.evaluate(turned, density))
+        snap = registry.snapshot()
+        assert snap["magus.engine.roi_fallbacks"]["value"] == 1
+        assert "magus.engine.roi_evaluations" not in snap
+
+
+# ----------------------------------------------------------------------
+class TestRoiScoreParity:
+    """score_candidates: ROI on == ROI off, exact floats."""
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(moves=_MOVES)
+    def test_random_candidates_bitwise(self, moves, roi_engine,
+                                       dense_engine, toy_network, density):
+        base = toy_network.planned_configuration()
+        configs = []
+        for move in moves:
+            candidate = _apply_move(toy_network, base, move)
+            if candidate != base:
+                configs.append(candidate)
+        if not configs:
+            return
+        roi_ev = Evaluator(roi_engine, density, "performance")
+        dense_ev = Evaluator(dense_engine, density, "performance")
+        assert roi_ev.utility_of(base) == dense_ev.utility_of(base)
+        assert (roi_ev.score_candidates(configs)
+                == dense_ev.score_candidates(configs))
+
+    def test_windowed_path_taken(self, registry, roi_engine, toy_network,
+                                 density):
+        base = toy_network.planned_configuration()
+        evaluator = Evaluator(roi_engine, density, "performance")
+        evaluator.utility_of(base)
+        candidates = _candidate_fan(toy_network, base)
+        evaluator.score_candidates(candidates)
+        snap = registry.snapshot()
+        assert (snap["magus.engine.roi_evaluations"]["value"]
+                == len(candidates))
+
+    def test_packed_backend_bitwise(self, tmp_path, toy_grid, toy_network,
+                                    clipped_pathloss, registry):
+        path = str(tmp_path / "toy.plossdb")
+        save_packed(clipped_pathloss, path)
+        roi_db, dense_db = load_packed(path), load_packed(path)
+        roi_eng = AnalysisEngine(roi_db, link=LinkAdaptation(), roi=True)
+        dense_eng = AnalysisEngine(dense_db, link=LinkAdaptation(),
+                                   roi=False)
+        base = toy_network.planned_configuration()
+        from repro.model.load import uniform_per_sector_density
+        density = uniform_per_sector_density(
+            roi_eng.evaluate(base, np.zeros(roi_eng.grid.shape)), 90.0)
+        roi_ev = Evaluator(roi_eng, density, "performance")
+        dense_ev = Evaluator(dense_eng, density, "performance")
+        assert roi_ev.utility_of(base) == dense_ev.utility_of(base)
+        candidates = _candidate_fan(toy_network, base)
+        assert (roi_ev.score_candidates(candidates)
+                == dense_ev.score_candidates(candidates))
+        snap = registry.snapshot()
+        assert snap["magus.engine.roi_evaluations"]["value"] > 0
+
+    def test_custom_utility_exact(self, registry, roi_engine,
+                                  toy_network, density):
+        """A non-additive utility skips the partial-sum scorer (no
+        batch path), but the windowed delta underneath ``utility_of``
+        builds the full state, so any ``evaluate`` override stays
+        exact."""
+        class WorstGrid(UtilityFunction):
+            name = "worst-grid"
+
+            def per_ue(self, rate_bps):
+                return np.asarray(rate_bps, dtype=float)
+
+            def evaluate(self, state):   # non-additive
+                return float(state.rate_bps.min())
+
+        evaluator = Evaluator(roi_engine, density, WorstGrid())
+        assert not evaluator._batchable()
+        base = toy_network.planned_configuration()
+        evaluator.utility_of(base)
+        candidates = [base.with_power(0, 38.0)]
+        scores = evaluator.score_candidates(candidates)
+        assert scores == [evaluator.utility_of(candidates[0])]
+        assert ("magus.engine.batched_candidates"
+                not in registry.snapshot())
+
+    def test_plans_agree_with_and_without_roi(self, roi_engine,
+                                              dense_engine, toy_network,
+                                              density):
+        from repro.core.magus import Magus
+        plans = {}
+        for name, engine in (("roi", roi_engine), ("dense", dense_engine)):
+            magus = Magus(toy_network, engine, density)
+            plans[name] = magus.plan_mitigation([1], tuning="joint")
+        assert plans["roi"].c_after == plans["dense"].c_after
+        assert plans["roi"].f_after == plans["dense"].f_after
+
+
+# ----------------------------------------------------------------------
+class TestRoiParallelParity:
+    """The pool ships ROI baselines; results stay bitwise-serial."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pool_scores_bitwise(self, workers, registry, roi_engine,
+                                 dense_engine, toy_network, density):
+        base = toy_network.planned_configuration()
+        candidates = _candidate_fan(toy_network, base)
+        serial = Evaluator(dense_engine, density, _UTILITY)
+        serial.utility_of(base)
+        want = serial.score_candidates(candidates)
+        with Evaluator(roi_engine, density, _UTILITY,
+                       strategy="parallel", workers=workers,
+                       min_parallel_batch=2) as pooled:
+            pooled.utility_of(base)
+            got = pooled.score_candidates(candidates)
+        assert got == want
+        snap = registry.snapshot()
+        assert snap["magus.engine.roi_evaluations"]["value"] > 0
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(moves=_MOVES)
+    def test_random_chain_bitwise(self, moves, roi_engine, dense_engine,
+                                  toy_network, density):
+        config = toy_network.planned_configuration()
+        for move in moves:
+            config = _apply_move(toy_network, config, move)
+        candidates = _candidate_fan(toy_network, config)
+        serial = Evaluator(dense_engine, density, _UTILITY)
+        serial.utility_of(config)
+        want = serial.score_candidates(candidates)
+        with Evaluator(roi_engine, density, _UTILITY,
+                       strategy="parallel", workers=2,
+                       min_parallel_batch=2) as pooled:
+            pooled.utility_of(config)
+            assert pooled.score_candidates(candidates) == want
+
+
+# ----------------------------------------------------------------------
+class TestRoiFallbacks:
+    """Every trigger degrades to the dense path, never to a wrong answer."""
+
+    def test_unclipped_dict_always_falls_back(self, registry, toy_engine,
+                                              toy_network, toy_density):
+        assert toy_engine.roi           # default-on ...
+        evaluator = Evaluator(toy_engine, toy_density, "performance")
+        base = toy_network.planned_configuration()
+        evaluator.utility_of(base)
+        candidates = _candidate_fan(toy_network, base)
+        scores = evaluator.score_candidates(candidates)
+        reference = [evaluator.utility_of(c) for c in candidates]
+        assert scores == reference
+        snap = registry.snapshot()
+        # ... but footprints are unavailable, so nothing is windowed.
+        assert "magus.engine.roi_evaluations" not in snap
+        assert snap["magus.engine.roi_fallbacks"]["value"] > 0
+
+    def test_full_grid_footprint_falls_back(self, registry, toy_grid,
+                                            toy_network):
+        """At the -150 dB default floor the toy boxes cover the grid —
+        the roi_max_fraction guard must route every candidate densely."""
+        db = _clipped_pathloss(toy_grid, toy_network,
+                               floor=DEFAULT_CLIP_FLOOR_DB)
+        H, W = db.grid.shape
+        tilt = toy_network.sector(0).tilt_range.normal_deg
+        assert box_area(db.footprint(0, tilt)) == H * W
+        engine = AnalysisEngine(db, link=LinkAdaptation(), roi=True)
+        from repro.model.load import uniform_per_sector_density
+        base = toy_network.planned_configuration()
+        density = uniform_per_sector_density(
+            engine.evaluate(base, np.zeros(engine.grid.shape)), 90.0)
+        evaluator = Evaluator(engine, density, "performance")
+        evaluator.utility_of(base)
+        candidates = _candidate_fan(toy_network, base)
+        scores = evaluator.score_candidates(candidates)
+        assert scores == [evaluator.utility_of(c) for c in candidates]
+        snap = registry.snapshot()
+        assert "magus.engine.roi_evaluations" not in snap
+        assert snap["magus.engine.roi_fallbacks"]["value"] > 0
+
+    def test_roi_opt_out(self, registry, roi_engine, toy_network, density):
+        evaluator = Evaluator(roi_engine, density, "performance",
+                              roi=False)
+        assert not roi_engine.roi       # the knob lands on the engine
+        base = toy_network.planned_configuration()
+        evaluator.utility_of(base)
+        evaluator.score_candidates(_candidate_fan(toy_network, base))
+        snap = registry.snapshot()
+        assert not any("roi" in name for name in snap)
+
+    def test_roi_default_leaves_engine_setting(self, roi_engine, density):
+        Evaluator(roi_engine, density, "performance")        # roi=None
+        assert roi_engine.roi
+        Evaluator(roi_engine, density, "performance", roi=True)
+        assert roi_engine.roi
+
+    def test_baseline_requires_anchored_state(self, roi_engine,
+                                              toy_network, density):
+        _, incumbent = roi_engine.evaluate_with_incumbent(
+            toy_network.planned_configuration(), density)
+        baseline = RoiBaseline.from_incumbent(incumbent, _UTILITY, density)
+        assert baseline is not None
+        incumbent.state = None          # e.g. a worker-attached incumbent
+        assert RoiBaseline.from_incumbent(incumbent, _UTILITY,
+                                          density) is None
+
+
+# ----------------------------------------------------------------------
+class TestRoiReport:
+    def test_report_has_roi_section(self, registry, roi_engine,
+                                    toy_network, density):
+        evaluator = Evaluator(roi_engine, density, "performance")
+        base = toy_network.planned_configuration()
+        evaluator.utility_of(base)
+        evaluator.score_candidates(_candidate_fan(toy_network, base))
+        report = RunReport.from_registry("test", registry=registry)
+        roi = report.roi_metrics()
+        assert roi["magus.engine.roi_evaluations"] > 0
+        assert "roi:" in report.to_table()
+
+    def test_report_omits_empty_roi_section(self, registry):
+        report = RunReport.from_registry("test", registry=registry)
+        assert report.roi_metrics() == {}
+        assert "roi:" not in report.to_table()
